@@ -1,0 +1,158 @@
+package bufferkit_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"bufferkit"
+)
+
+// TestFacadeQuickstart exercises the documented public workflow end to end.
+func TestFacadeQuickstart(t *testing.T) {
+	w := bufferkit.PaperWire()
+	b := bufferkit.NewTreeBuilder()
+	v := b.AddBufferPos(0, w.R*4000, w.C*4000)
+	b.AddSink(v, w.R*2500, w.C*2500, 12, 1000)
+	b.AddSink(v, w.R*1200, w.C*1200, 30, 900)
+	net := b.MustBuild()
+
+	lib := bufferkit.GenerateLibrary(16)
+	d := bufferkit.Driver{R: 0.2, K: 15}
+	res, err := bufferkit.Insert(net, lib, bufferkit.Options{Driver: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	unbuf, err := bufferkit.Evaluate(net, lib, bufferkit.NewPlacement(net.Len()), d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Slack > unbuf.Slack) {
+		t.Fatalf("insertion did not improve slack: %g vs %g", res.Slack, unbuf.Slack)
+	}
+	chk, err := bufferkit.Evaluate(net, lib, res.Placement, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(chk.Slack-res.Slack) > 1e-6 {
+		t.Fatalf("oracle %g != reported %g", chk.Slack, res.Slack)
+	}
+}
+
+// TestFacadeAlgorithmsAgree checks the three exported algorithms against
+// each other through the public API only.
+func TestFacadeAlgorithmsAgree(t *testing.T) {
+	net := bufferkit.TwoPinNet(9000, 18, 12, 800, bufferkit.PaperWire())
+	d := bufferkit.Driver{R: 0.25, K: 10}
+	lib := bufferkit.GenerateLibrary(1)
+
+	vg, err := bufferkit.InsertVanGinneken(net, lib[0], d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ll, err := bufferkit.InsertLillis(net, lib, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, err := bufferkit.Insert(net, lib, bufferkit.Options{Driver: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(vg.Slack-ll.Slack) > 1e-6 || math.Abs(ll.Slack-co.Slack) > 1e-6 {
+		t.Fatalf("algorithms disagree: vg %g, lillis %g, new %g", vg.Slack, ll.Slack, co.Slack)
+	}
+}
+
+func TestFacadeNetlistRoundTrip(t *testing.T) {
+	tr, err := bufferkit.IndustrialNet(15, 80, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &bufferkit.Net{Name: "rt", Tree: tr, Driver: bufferkit.Driver{R: 0.3}}
+	var buf bytes.Buffer
+	if err := bufferkit.WriteNet(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := bufferkit.ParseNet(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Name != "rt" || out.Tree.Len() != tr.Len() || out.Driver != in.Driver {
+		t.Fatalf("round trip lost data: %+v", out)
+	}
+
+	var lb bytes.Buffer
+	if err := bufferkit.WriteLibrary(&lb, bufferkit.GenerateLibraryWithInverters(6)); err != nil {
+		t.Fatal(err)
+	}
+	lib2, err := bufferkit.ParseLibrary(strings.NewReader(lb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib2) != 6 || !lib2.HasInverters() {
+		t.Fatalf("library round trip lost data: %+v", lib2)
+	}
+}
+
+func TestFacadeCostPareto(t *testing.T) {
+	net := bufferkit.TwoPinNet(8000, 10, 15, 900, bufferkit.PaperWire())
+	pts, err := bufferkit.CostSlackPareto(net, bufferkit.GenerateLibrary(4), bufferkit.CostOptions{
+		Driver: bufferkit.Driver{R: 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) < 2 {
+		t.Fatalf("degenerate frontier: %+v", pts)
+	}
+	opt, err := bufferkit.Insert(net, bufferkit.GenerateLibrary(4), bufferkit.Options{Driver: bufferkit.Driver{R: 0.4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pts[len(pts)-1].Slack-opt.Slack) > 1e-6 {
+		t.Fatalf("frontier max %g != optimum %g", pts[len(pts)-1].Slack, opt.Slack)
+	}
+}
+
+func TestFacadeSegmentAndReduce(t *testing.T) {
+	base := bufferkit.RandomNet(bufferkit.NetOpts{Sinks: 10, Seed: 4})
+	seg, err := bufferkit.SegmentUniform(base, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg.Len() <= base.Len() {
+		t.Fatal("segmenting did not add vertices")
+	}
+	seg2, err := bufferkit.SegmentToPositions(base, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seg2.NumBufferPositions() != 200 {
+		t.Fatalf("positions = %d", seg2.NumBufferPositions())
+	}
+	red, idx, err := bufferkit.ReduceLibrary(bufferkit.GenerateLibrary(32), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(red) != 8 || len(idx) != 8 {
+		t.Fatalf("reduce returned %d types", len(red))
+	}
+}
+
+func TestFacadeDestructiveMode(t *testing.T) {
+	net := bufferkit.TwoPinNet(9000, 20, 12, 800, bufferkit.PaperWire())
+	d := bufferkit.Driver{R: 0.3}
+	lib := bufferkit.GenerateLibrary(8)
+	a, err := bufferkit.Insert(net, lib, bufferkit.Options{Driver: d, Prune: bufferkit.PruneTransient})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := bufferkit.Insert(net, lib, bufferkit.Options{Driver: d, Prune: bufferkit.PruneDestructive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Slack-b.Slack) > 1e-6 {
+		t.Fatalf("modes disagree on a 2-pin net: %g vs %g", a.Slack, b.Slack)
+	}
+}

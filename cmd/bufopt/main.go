@@ -1,0 +1,170 @@
+// Command bufopt performs optimal buffer insertion on a net file.
+//
+// Usage:
+//
+//	bufopt -net design.net [-lib lib.buf | -gen-lib 16] [flags]
+//
+// The net format is documented in the repository README and in the internal
+// netlist package; see testdata/ for samples. The tool prints the optimal
+// slack, the buffer count and runtime, and optionally the placement.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"bufferkit"
+)
+
+func main() {
+	var (
+		netPath   = flag.String("net", "", "net file (required)")
+		libPath   = flag.String("lib", "", "buffer library file")
+		genLib    = flag.Int("gen-lib", 0, "generate a paper-range library of this size instead of -lib")
+		algo      = flag.String("algo", "new", "algorithm: new (O(bn²)), lillis (O(b²n²)), vg (1 type, O(n²))")
+		prune     = flag.String("prune", "transient", "convex pruning for -algo new: transient (exact) or destructive (paper-literal)")
+		placement = flag.Bool("placement", false, "print the buffer placement")
+		verify    = flag.Bool("verify", true, "re-check the result against the exact Elmore oracle")
+	)
+	flag.Parse()
+	if err := run(*netPath, *libPath, *genLib, *algo, *prune, *placement, *verify); err != nil {
+		fmt.Fprintln(os.Stderr, "bufopt:", err)
+		os.Exit(1)
+	}
+}
+
+func run(netPath, libPath string, genLib int, algo, prune string, placement, verify bool) error {
+	if netPath == "" {
+		return fmt.Errorf("-net is required")
+	}
+	nf, err := os.Open(netPath)
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	net, err := bufferkit.ParseNet(nf)
+	if err != nil {
+		return err
+	}
+
+	var lib bufferkit.Library
+	switch {
+	case libPath != "" && genLib != 0:
+		return fmt.Errorf("-lib and -gen-lib are mutually exclusive")
+	case libPath != "":
+		lf, err := os.Open(libPath)
+		if err != nil {
+			return err
+		}
+		defer lf.Close()
+		if lib, err = bufferkit.ParseLibrary(lf); err != nil {
+			return err
+		}
+	case genLib > 0:
+		lib = bufferkit.GenerateLibrary(genLib)
+	default:
+		return fmt.Errorf("provide -lib <file> or -gen-lib <size>")
+	}
+
+	t := net.Tree
+	fmt.Printf("net: %s  (%d vertices, %d sinks, %d buffer positions, %d buffer types)\n",
+		orDefault(net.Name, netPath), t.Len(), t.NumSinks(), t.NumBufferPositions(), len(lib))
+
+	var (
+		slack float64
+		plc   bufferkit.Placement
+	)
+	start := time.Now()
+	switch algo {
+	case "new":
+		opt := bufferkit.Options{Driver: net.Driver}
+		switch prune {
+		case "transient":
+			opt.Prune = bufferkit.PruneTransient
+		case "destructive":
+			opt.Prune = bufferkit.PruneDestructive
+		default:
+			return fmt.Errorf("unknown -prune %q", prune)
+		}
+		res, err := bufferkit.Insert(t, lib, opt)
+		if err != nil {
+			return err
+		}
+		slack, plc = res.Slack, res.Placement
+		fmt.Printf("stats: max list %d, avg hull %.1f, betas kept %d/%d\n",
+			res.Stats.MaxListLen,
+			avg(res.Stats.SumHullLen, res.Stats.Positions),
+			res.Stats.BetasKept, res.Stats.BetasGenerated)
+	case "lillis":
+		res, err := bufferkit.InsertLillis(t, lib, net.Driver)
+		if err != nil {
+			return err
+		}
+		slack, plc = res.Slack, res.Placement
+	case "vg":
+		if len(lib) != 1 {
+			return fmt.Errorf("-algo vg needs a single-type library, got %d types", len(lib))
+		}
+		res, err := bufferkit.InsertVanGinneken(t, lib[0], net.Driver)
+		if err != nil {
+			return err
+		}
+		slack, plc = res.Slack, res.Placement
+	default:
+		return fmt.Errorf("unknown -algo %q", algo)
+	}
+	elapsed := time.Since(start)
+
+	unbuf, err := bufferkit.Evaluate(t, lib, bufferkit.NewPlacement(t.Len()), net.Driver)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("slack: %.4f ps (unbuffered %.4f ps, improvement %.4f ps)\n", slack, unbuf.Slack, slack-unbuf.Slack)
+	fmt.Printf("buffers: %d   cost: %d   runtime: %s\n", plc.Count(), plc.Cost(lib), elapsed)
+
+	if verify {
+		chk, err := bufferkit.Evaluate(t, lib, plc, net.Driver)
+		if err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		if d := chk.Slack - slack; d > 1e-6 || d < -1e-6 {
+			return fmt.Errorf("verification failed: oracle slack %.6f != reported %.6f", chk.Slack, slack)
+		}
+		if len(chk.PolarityViolations) > 0 {
+			return fmt.Errorf("verification failed: polarity violations at %v", chk.PolarityViolations)
+		}
+		path := chk.CriticalPath(t)
+		fmt.Printf("verified: placement reproduces the reported slack under the Elmore oracle\n")
+		fmt.Printf("critical path: %d vertices to sink %d (arrival %.2f ps)\n",
+			len(path), chk.CriticalSink, chk.Arrival[chk.CriticalSink])
+	}
+
+	if placement {
+		for v, b := range plc {
+			if b != bufferkit.NoBuffer {
+				name := t.Verts[v].Name
+				if name == "" {
+					name = fmt.Sprintf("v%d", v)
+				}
+				fmt.Printf("  %s: %s\n", name, lib[b].Name)
+			}
+		}
+	}
+	return nil
+}
+
+func orDefault(s, def string) string {
+	if s == "" {
+		return def
+	}
+	return s
+}
+
+func avg(sum, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	return float64(sum) / float64(n)
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const testdata = "../../testdata/"
+
+func TestRunNewAlgorithm(t *testing.T) {
+	if err := run(testdata+"random12.net", testdata+"lib8.buf", 0, "new", "transient", true, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"new", "lillis"} {
+		if err := run(testdata+"line.net", "", 8, algo, "transient", false, true); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
+	}
+	if err := run(testdata+"line.net", "", 1, "vg", "transient", false, true); err != nil {
+		t.Fatalf("vg: %v", err)
+	}
+}
+
+func TestRunDestructivePrune(t *testing.T) {
+	if err := run(testdata+"line.net", "", 8, "new", "destructive", false, true); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  string
+		f    func() error
+	}{
+		{"missing net", "-net is required", func() error { return run("", "", 8, "new", "transient", false, false) }},
+		{"no library", "provide -lib", func() error { return run(testdata+"line.net", "", 0, "new", "transient", false, false) }},
+		{"both libs", "mutually exclusive", func() error {
+			return run(testdata+"line.net", testdata+"lib8.buf", 4, "new", "transient", false, false)
+		}},
+		{"bad algo", "unknown -algo", func() error { return run(testdata+"line.net", "", 8, "nope", "transient", false, false) }},
+		{"bad prune", "unknown -prune", func() error { return run(testdata+"line.net", "", 8, "new", "nope", false, false) }},
+		{"vg multi-type", "single-type", func() error { return run(testdata+"line.net", "", 8, "vg", "transient", false, false) }},
+		{"missing file", "no such file", func() error { return run(testdata+"missing.net", "", 8, "new", "transient", false, false) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f()
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Fatalf("err = %v, want substring %q", err, tc.err)
+			}
+		})
+	}
+}

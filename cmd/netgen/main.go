@@ -1,0 +1,93 @@
+// Command netgen emits synthetic nets and buffer libraries in the
+// repository's netlist formats.
+//
+// Examples:
+//
+//	netgen -kind twopin -length 10000 -positions 50 > line.net
+//	netgen -kind industrial -sinks 1944 -positions 33133 -seed 1 > big.net
+//	netgen -kind balanced -fanout 2 -depth 6 > clock.net
+//	netgen -emit-lib 32 > lib32.buf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bufferkit"
+)
+
+func main() {
+	var (
+		kind      = flag.String("kind", "random", "net kind: twopin, balanced, random, industrial")
+		out       = flag.String("o", "", "output file (default stdout)")
+		name      = flag.String("name", "", "net name")
+		seed      = flag.Int64("seed", 1, "generator seed")
+		sinks     = flag.Int("sinks", 32, "sink count (random, industrial)")
+		positions = flag.Int("positions", 16, "buffer positions (twopin, industrial)")
+		length    = flag.Float64("length", 10000, "line length in µm (twopin)")
+		sinkCap   = flag.Float64("sink-cap", 10, "sink capacitance in fF (twopin, balanced)")
+		rat       = flag.Float64("rat", 1000, "required arrival time in ps (twopin, balanced)")
+		fanout    = flag.Int("fanout", 2, "fanout (balanced)")
+		depth     = flag.Int("depth", 5, "depth (balanced)")
+		rootEdge  = flag.Float64("root-edge", 800, "root edge length in µm (balanced)")
+		negProb   = flag.Float64("neg-prob", 0, "negative-polarity sink probability (random)")
+		driverR   = flag.Float64("driver-r", 0.2, "driver resistance in kΩ")
+		driverK   = flag.Float64("driver-k", 15, "driver intrinsic delay in ps")
+		emitLib   = flag.Int("emit-lib", 0, "emit a generated library of this size instead of a net")
+		inverters = flag.Bool("inverters", false, "make every second generated library type an inverter")
+	)
+	flag.Parse()
+	if err := run(*kind, *out, *name, *seed, *sinks, *positions, *length, *sinkCap, *rat,
+		*fanout, *depth, *rootEdge, *negProb, *driverR, *driverK, *emitLib, *inverters); err != nil {
+		fmt.Fprintln(os.Stderr, "netgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind, out, name string, seed int64, sinks, positions int, length, sinkCap, rat float64,
+	fanout, depth int, rootEdge, negProb, driverR, driverK float64, emitLib int, inverters bool) error {
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if emitLib > 0 {
+		lib := bufferkit.GenerateLibrary(emitLib)
+		if inverters {
+			lib = bufferkit.GenerateLibraryWithInverters(emitLib)
+		}
+		return bufferkit.WriteLibrary(w, lib)
+	}
+
+	var t *bufferkit.Tree
+	var err error
+	switch kind {
+	case "twopin":
+		t = bufferkit.TwoPinNet(length, positions, sinkCap, rat, bufferkit.PaperWire())
+	case "balanced":
+		t = bufferkit.BalancedNet(fanout, depth, rootEdge, sinkCap, rat, bufferkit.PaperWire())
+	case "random":
+		t = bufferkit.RandomNet(bufferkit.NetOpts{Sinks: sinks, Seed: seed, NegativeSinkProb: negProb})
+	case "industrial":
+		t, err = bufferkit.IndustrialNet(sinks, positions, seed)
+		if err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown -kind %q", kind)
+	}
+	if name == "" {
+		name = kind
+	}
+	return bufferkit.WriteNet(w, &bufferkit.Net{
+		Name:   name,
+		Tree:   t,
+		Driver: bufferkit.Driver{R: driverR, K: driverK},
+	})
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bufferkit"
+)
+
+func gen(t *testing.T, kind string, emitLib int, inverters bool) string {
+	t.Helper()
+	out := filepath.Join(t.TempDir(), "out")
+	err := run(kind, out, "t", 3, 10, 12, 2000, 5, 800, 2, 3, 400, 0.2, 0.2, 10, emitLib, inverters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func TestGenerateEveryKind(t *testing.T) {
+	for _, kind := range []string{"twopin", "balanced", "random", "industrial"} {
+		t.Run(kind, func(t *testing.T) {
+			out := gen(t, kind, 0, false)
+			net, err := bufferkit.ParseNet(strings.NewReader(out))
+			if err != nil {
+				t.Fatalf("emitted net does not parse: %v", err)
+			}
+			if net.Tree.NumSinks() < 1 {
+				t.Fatal("no sinks")
+			}
+			if net.Driver.R != 0.2 || net.Driver.K != 10 {
+				t.Fatalf("driver lost: %+v", net.Driver)
+			}
+		})
+	}
+}
+
+func TestGenerateLibraryFile(t *testing.T) {
+	out := gen(t, "random", 6, true)
+	lib, err := bufferkit.ParseLibrary(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lib) != 6 || !lib.HasInverters() {
+		t.Fatalf("library wrong: %+v", lib)
+	}
+}
+
+func TestGenerateUnknownKind(t *testing.T) {
+	err := run("bogus", filepath.Join(t.TempDir(), "x"), "", 1, 1, 1, 1, 1, 1, 1, 1, 1, 0, 0, 0, 0, false)
+	if err == nil || !strings.Contains(err.Error(), "unknown -kind") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestEmittedNetIsOptimizable closes the loop: generate → parse → optimize.
+func TestEmittedNetIsOptimizable(t *testing.T) {
+	out := gen(t, "industrial", 0, false)
+	net, err := bufferkit.ParseNet(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := bufferkit.Insert(net.Tree, bufferkit.GenerateLibrary(4), bufferkit.Options{Driver: net.Driver})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := bufferkit.Evaluate(net.Tree, bufferkit.GenerateLibrary(4), res.Placement, net.Driver)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := chk.Slack - res.Slack; d > 1e-6 || d < -1e-6 {
+		t.Fatalf("oracle %g != reported %g", chk.Slack, res.Slack)
+	}
+}

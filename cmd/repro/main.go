@@ -1,0 +1,54 @@
+// Command repro regenerates the paper's evaluation: Table 1, Figure 3 and
+// Figure 4, plus two supporting studies (library-reduction quality loss and
+// candidate-list-length analysis). Results and commentary are recorded in
+// EXPERIMENTS.md.
+//
+// Usage:
+//
+//	repro -exp all               # full paper scale, takes a minute or two
+//	repro -exp fig3 -scale 4     # quarter-scale quick look
+//	repro -exp table1 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime/debug"
+
+	"bufferkit/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "experiment: table1, fig3, fig4, libreduce, listlen, all")
+		scale = flag.Int("scale", 1, "divide the paper's m and n by this factor (1 = full scale)")
+		reps  = flag.Int("reps", 2, "timing repetitions per measurement (fastest wins)")
+		seed  = flag.Int64("seed", 1, "workload seed")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+	)
+	flag.Parse()
+
+	// Timing binary: relax the collector so measurements reflect the
+	// algorithms rather than GC pacing (documented in EXPERIMENTS.md).
+	debug.SetGCPercent(400)
+
+	cfg := experiments.Config{Scale: *scale, Reps: *reps, Seed: *seed, Out: os.Stdout, CSV: *csv}
+	fns := map[string]func(experiments.Config) error{
+		"table1":    experiments.Table1,
+		"fig3":      experiments.Fig3,
+		"fig4":      experiments.Fig4,
+		"libreduce": experiments.LibReduce,
+		"listlen":   experiments.ListLen,
+		"all":       experiments.All,
+	}
+	fn, ok := fns[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "repro: unknown -exp %q\n", *exp)
+		os.Exit(2)
+	}
+	if err := fn(cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		os.Exit(1)
+	}
+}

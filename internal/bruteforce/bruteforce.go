@@ -1,0 +1,145 @@
+// Package bruteforce enumerates every buffer placement of a small net and
+// evaluates each with the exact Elmore oracle. It is the ground truth the
+// dynamic-programming algorithms are tested against; it is exponential and
+// refuses instances beyond a combination budget.
+package bruteforce
+
+import (
+	"fmt"
+	"math"
+
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/tree"
+)
+
+// MaxCombinations bounds the search size Best will accept.
+const MaxCombinations = 4 << 20
+
+// Result is the exhaustive optimum.
+type Result struct {
+	// Slack is the best slack over all polarity-feasible placements.
+	Slack float64
+	// Placement achieves Slack (minimum buffer count among ties, then the
+	// lexicographically first by enumeration order).
+	Placement delay.Placement
+	// Feasible is false when no placement satisfies every sink's polarity;
+	// Slack is then -Inf.
+	Feasible bool
+	// Evaluated counts placements examined.
+	Evaluated int
+}
+
+// CostSlack is one point of the cost–slack trade-off frontier.
+type CostSlack struct {
+	Cost  int
+	Slack float64
+}
+
+// Best exhaustively finds the max-slack placement.
+func Best(t *tree.Tree, lib library.Library, drv delay.Driver) (*Result, error) {
+	res := &Result{Slack: math.Inf(-1)}
+	err := enumerate(t, lib, drv, func(p delay.Placement, r *delay.Result) {
+		res.Evaluated++
+		if len(r.PolarityViolations) > 0 {
+			return
+		}
+		if !res.Feasible || r.Slack > res.Slack ||
+			(r.Slack == res.Slack && p.Count() < res.Placement.Count()) {
+			res.Slack = r.Slack
+			res.Placement = append(res.Placement[:0], p...)
+			res.Feasible = true
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Pareto exhaustively computes the nondominated (cost, slack) frontier over
+// polarity-feasible placements, sorted by increasing cost (and therefore
+// strictly increasing slack).
+func Pareto(t *tree.Tree, lib library.Library, drv delay.Driver) ([]CostSlack, error) {
+	bestAtCost := map[int]float64{}
+	err := enumerate(t, lib, drv, func(p delay.Placement, r *delay.Result) {
+		if len(r.PolarityViolations) > 0 {
+			return
+		}
+		cost := p.Cost(lib)
+		if s, ok := bestAtCost[cost]; !ok || r.Slack > s {
+			bestAtCost[cost] = r.Slack
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	if len(bestAtCost) == 0 {
+		return nil, nil
+	}
+	maxCost := 0
+	for c := range bestAtCost {
+		if c > maxCost {
+			maxCost = c
+		}
+	}
+	var out []CostSlack
+	best := math.Inf(-1)
+	for c := 0; c <= maxCost; c++ {
+		if s, ok := bestAtCost[c]; ok && s > best {
+			out = append(out, CostSlack{Cost: c, Slack: s})
+			best = s
+		}
+	}
+	return out, nil
+}
+
+// enumerate walks every legal assignment of library types (or none) to the
+// buffer positions of t, invoking visit with a reused placement.
+func enumerate(t *tree.Tree, lib library.Library, drv delay.Driver, visit func(delay.Placement, *delay.Result)) error {
+	if err := lib.Validate(); err != nil {
+		return err
+	}
+	positions := t.BufferPositions()
+	choices := make([][]int, len(positions))
+	total := 1.0
+	for i, v := range positions {
+		opts := []int{delay.NoBuffer}
+		if allowed := t.Verts[v].Allowed; len(allowed) > 0 {
+			opts = append(opts, allowed...)
+		} else {
+			for ti := range lib {
+				opts = append(opts, ti)
+			}
+		}
+		choices[i] = opts
+		total *= float64(len(opts))
+		if total > MaxCombinations {
+			return fmt.Errorf("bruteforce: > %d combinations (%d positions)", MaxCombinations, len(positions))
+		}
+	}
+	p := delay.NewPlacement(t.Len())
+	idx := make([]int, len(positions))
+	for {
+		for i, v := range positions {
+			p[v] = choices[i][idx[i]]
+		}
+		r, err := delay.Evaluate(t, lib, p, drv)
+		if err != nil {
+			return err
+		}
+		visit(p, r)
+		// Odometer increment.
+		i := 0
+		for ; i < len(idx); i++ {
+			idx[i]++
+			if idx[i] < len(choices[i]) {
+				break
+			}
+			idx[i] = 0
+		}
+		if i == len(idx) {
+			return nil
+		}
+	}
+}

@@ -1,0 +1,194 @@
+package bruteforce
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/netgen"
+	"bufferkit/internal/tree"
+)
+
+var lib = library.Library{
+	{Name: "b1", R: 1.0, Cin: 1, K: 5, Cost: 1},
+	{Name: "b2", R: 0.5, Cin: 2, K: 6, Cost: 2},
+}
+
+func line(t *testing.T, positions int) *tree.Tree {
+	t.Helper()
+	b := tree.NewBuilder()
+	p := 0
+	for i := 0; i < positions; i++ {
+		p = b.AddBufferPos(p, 0.3, 20)
+	}
+	b.AddSink(p, 0.3, 20, 10, 500)
+	return b.MustBuild()
+}
+
+func TestBestEnumeratesAllCombinations(t *testing.T) {
+	tr := line(t, 3)
+	res, err := Best(tr, lib, delay.Driver{R: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (b+1)^positions = 3^3.
+	if res.Evaluated != 27 {
+		t.Fatalf("Evaluated = %d, want 27", res.Evaluated)
+	}
+	if !res.Feasible || math.IsInf(res.Slack, 0) {
+		t.Fatalf("implausible result: %+v", res)
+	}
+	// The winner must reproduce its slack under the oracle.
+	chk, err := delay.Evaluate(tr, lib, res.Placement, delay.Driver{R: 0.4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if chk.Slack != res.Slack {
+		t.Fatalf("oracle %g != reported %g", chk.Slack, res.Slack)
+	}
+}
+
+func TestBestIsTrulyMaximal(t *testing.T) {
+	// Independently re-enumerate and confirm nothing beats Best.
+	tr := line(t, 2)
+	drv := delay.Driver{R: 0.5}
+	res, err := Best(tr, lib, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := -1; a < len(lib); a++ {
+		for b := -1; b < len(lib); b++ {
+			p := delay.NewPlacement(tr.Len())
+			p[1], p[2] = a, b
+			r, err := delay.Evaluate(tr, lib, p, drv)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Slack > res.Slack {
+				t.Fatalf("placement %v beats Best: %g > %g", p, r.Slack, res.Slack)
+			}
+		}
+	}
+}
+
+func TestBestPrefersFewerBuffersOnTies(t *testing.T) {
+	// Zero-RC wires make buffers pure overhead ties impossible; craft a net
+	// where an extra buffer changes nothing: impossible with K>0, so check
+	// instead that the unbuffered solution wins when buffers cannot help.
+	b := tree.NewBuilder()
+	v := b.AddBufferPos(0, 0, 0)
+	b.AddSink(v, 0, 0, 1, 100)
+	tr := b.MustBuild()
+	res, err := Best(tr, lib, delay.Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.Count() != 0 {
+		t.Fatalf("used %d buffers where none can help", res.Placement.Count())
+	}
+	if res.Slack != 100 {
+		t.Fatalf("Slack = %g, want 100", res.Slack)
+	}
+}
+
+func TestBestPolarityInfeasible(t *testing.T) {
+	b := tree.NewBuilder()
+	v := b.AddInternal(0, 1, 1)
+	b.AddSinkPol(v, 1, 1, 2, 100, tree.Negative)
+	b.AddSink(v, 1, 1, 2, 100)
+	tr := b.MustBuild()
+	res, err := Best(tr, library.GenerateWithInverters(2), delay.Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Feasible {
+		t.Fatalf("claimed feasible: %+v", res)
+	}
+	if !math.IsInf(res.Slack, -1) {
+		t.Fatalf("Slack = %g, want -Inf", res.Slack)
+	}
+}
+
+func TestBestRespectsAllowed(t *testing.T) {
+	b := tree.NewBuilder()
+	v := b.AddBufferPosRestricted(0, 0.3, 20, []int{1})
+	b.AddSink(v, 0.3, 20, 10, 500)
+	tr := b.MustBuild()
+	res, err := Best(tr, lib, delay.Driver{R: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// choices per position: none or type 1 → 2 combos.
+	if res.Evaluated != 2 {
+		t.Fatalf("Evaluated = %d, want 2", res.Evaluated)
+	}
+	if res.Placement[v] == 0 {
+		t.Fatal("used disallowed type 0")
+	}
+}
+
+func TestBudgetRejection(t *testing.T) {
+	tr := line(t, 30) // 3^30 combos
+	if _, err := Best(tr, lib, delay.Driver{}); err == nil || !strings.Contains(err.Error(), "combinations") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestParetoShape(t *testing.T) {
+	tr := line(t, 3)
+	pts, err := Pareto(tr, lib, delay.Driver{R: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 || pts[0].Cost != 0 {
+		t.Fatalf("frontier must start at cost 0: %+v", pts)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Cost <= pts[i-1].Cost || pts[i].Slack <= pts[i-1].Slack {
+			t.Fatalf("frontier not strictly increasing: %+v", pts)
+		}
+	}
+	// The frontier's max slack equals Best's.
+	best, err := Best(tr, lib, delay.Driver{R: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pts[len(pts)-1].Slack != best.Slack {
+		t.Fatalf("frontier max %g != Best %g", pts[len(pts)-1].Slack, best.Slack)
+	}
+}
+
+func TestParetoPolarityInfeasibleIsEmpty(t *testing.T) {
+	b := tree.NewBuilder()
+	v := b.AddInternal(0, 1, 1)
+	b.AddSinkPol(v, 1, 1, 2, 100, tree.Negative)
+	b.AddSink(v, 1, 1, 2, 100)
+	tr := b.MustBuild()
+	pts, err := Pareto(tr, lib, delay.Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 0 {
+		t.Fatalf("expected empty frontier, got %+v", pts)
+	}
+}
+
+func TestZeroPositionsStillEvaluates(t *testing.T) {
+	tr := netgen.TwoPin(1000, 0, 5, 300, netgen.PaperWire())
+	res, err := Best(tr, lib, delay.Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Evaluated != 1 || !res.Feasible {
+		t.Fatalf("unexpected: %+v", res)
+	}
+}
+
+func TestInvalidLibraryRejected(t *testing.T) {
+	tr := line(t, 1)
+	if _, err := Best(tr, library.Library{}, delay.Driver{}); err == nil {
+		t.Fatal("accepted empty library")
+	}
+}

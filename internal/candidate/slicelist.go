@@ -1,0 +1,177 @@
+package candidate
+
+// SliceList is an array-backed alternative to the doubly-linked List,
+// implementing the same candidate operations by rebuilding a slice. It
+// exists for the DESIGN.md ablation: the paper chose a linked list for O(1)
+// deletion and in-place O(k+b) merging (at a ~2% memory overhead, per its
+// Section 4); the slice variant trades pointer-chasing for copying, and the
+// root benchmark suite measures which wins at which list length.
+//
+// Operations mirror List exactly; property tests assert the two agree.
+type SliceList struct {
+	cands []Pair
+	decs  []*Decision
+}
+
+// NewSliceSink returns a single-candidate slice list for a sink.
+func NewSliceSink(q, c float64, vertex int) *SliceList {
+	return &SliceList{
+		cands: []Pair{{q, c}},
+		decs:  []*Decision{{Kind: DecSink, Vertex: vertex}},
+	}
+}
+
+// SliceFromPairs builds a SliceList from strictly increasing pairs.
+func SliceFromPairs(ps []Pair) *SliceList {
+	s := &SliceList{cands: append([]Pair(nil), ps...), decs: make([]*Decision, len(ps))}
+	for i := 1; i < len(ps); i++ {
+		if ps[i].Q <= ps[i-1].Q || ps[i].C <= ps[i-1].C {
+			panic("candidate: SliceFromPairs input not strictly increasing")
+		}
+	}
+	return s
+}
+
+// Len returns the number of candidates.
+func (s *SliceList) Len() int { return len(s.cands) }
+
+// Pairs returns a copy of the candidates.
+func (s *SliceList) Pairs() []Pair { return append([]Pair(nil), s.cands...) }
+
+// AddWire mirrors List.AddWire.
+func (s *SliceList) AddWire(r, c float64) {
+	for i := range s.cands {
+		s.cands[i].Q -= WireDelay(r, c, s.cands[i].C)
+		s.cands[i].C += c
+	}
+	if r == 0 || len(s.cands) == 0 {
+		return
+	}
+	out := s.cands[:1]
+	outD := s.decs[:1]
+	for i := 1; i < len(s.cands); i++ {
+		if s.cands[i].Q > out[len(out)-1].Q {
+			out = append(out, s.cands[i])
+			outD = append(outD, s.decs[i])
+		}
+	}
+	s.cands, s.decs = out, outD
+}
+
+// MergeSlice mirrors Merge for slice lists.
+func MergeSlice(a, b *SliceList) *SliceList {
+	out := &SliceList{
+		cands: make([]Pair, 0, len(a.cands)+len(b.cands)),
+		decs:  make([]*Decision, 0, len(a.cands)+len(b.cands)),
+	}
+	i, j := 0, 0
+	for i < len(a.cands) && j < len(b.cands) {
+		q := a.cands[i].Q
+		if b.cands[j].Q < q {
+			q = b.cands[j].Q
+		}
+		c := a.cands[i].C + b.cands[j].C
+		dec := &Decision{Kind: DecMerge, A: a.decs[i], B: b.decs[j]}
+		if n := len(out.cands); n > 0 && out.cands[n-1].C == c {
+			out.cands[n-1] = Pair{q, c}
+			out.decs[n-1] = dec
+		} else {
+			out.cands = append(out.cands, Pair{q, c})
+			out.decs = append(out.decs, dec)
+		}
+		if a.cands[i].Q == q {
+			i++
+		}
+		if b.cands[j].Q == q {
+			j++
+		}
+	}
+	return out
+}
+
+// InsertOne mirrors List.InsertOne.
+func (s *SliceList) InsertOne(q, c float64, dec *Decision) bool {
+	i := 0
+	for i < len(s.cands) && s.cands[i].C < c {
+		i++
+	}
+	if i > 0 && s.cands[i-1].Q >= q {
+		return false
+	}
+	if i < len(s.cands) && s.cands[i].C == c && s.cands[i].Q >= q {
+		return false
+	}
+	j := i
+	for j < len(s.cands) && s.cands[j].Q <= q {
+		j++
+	}
+	// Splice: keep [0,i), insert, keep [j,end).
+	nc := make([]Pair, 0, len(s.cands)-(j-i)+1)
+	nd := make([]*Decision, 0, cap(nc))
+	nc = append(append(append(nc, s.cands[:i]...), Pair{q, c}), s.cands[j:]...)
+	nd = append(append(append(nd, s.decs[:i]...), dec), s.decs[j:]...)
+	s.cands, s.decs = nc, nd
+	return true
+}
+
+// MergeBetas mirrors List.MergeBetas: betas must be normalized (strictly
+// increasing C and Q).
+func (s *SliceList) MergeBetas(betas []Beta) {
+	nc := make([]Pair, 0, len(s.cands)+len(betas))
+	nd := make([]*Decision, 0, len(s.cands)+len(betas))
+	i := 0
+	for bi := range betas {
+		b := &betas[bi]
+		for i < len(s.cands) && s.cands[i].C < b.C {
+			nc = append(nc, s.cands[i])
+			nd = append(nd, s.decs[i])
+			i++
+		}
+		if n := len(nc); n > 0 && nc[n-1].Q >= b.Q {
+			continue
+		}
+		if i < len(s.cands) && s.cands[i].C == b.C && s.cands[i].Q >= b.Q {
+			continue
+		}
+		nc = append(nc, Pair{b.Q, b.C})
+		nd = append(nd, b.decision())
+		for i < len(s.cands) && s.cands[i].Q <= b.Q {
+			i++ // dominated by the beta
+		}
+	}
+	nc = append(nc, s.cands[i:]...)
+	nd = append(nd, s.decs[i:]...)
+	s.cands, s.decs = nc, nd
+}
+
+// HullIdx returns the indices of the concave majorant (Graham's scan).
+func (s *SliceList) HullIdx() []int {
+	hull := make([]int, 0, len(s.cands))
+	for i := range s.cands {
+		for len(hull) >= 2 {
+			a, b := s.cands[hull[len(hull)-2]], s.cands[hull[len(hull)-1]]
+			c := s.cands[i]
+			if (b.Q-a.Q)*(c.C-b.C) > (c.Q-b.Q)*(b.C-a.C) {
+				break
+			}
+			hull = hull[:len(hull)-1]
+		}
+		hull = append(hull, i)
+	}
+	return hull
+}
+
+// BestForR mirrors List.BestForR, returning the index of the maximizer of
+// Q − r·C (ties toward minimum C), or -1 on empty.
+func (s *SliceList) BestForR(r float64) int {
+	if len(s.cands) == 0 {
+		return -1
+	}
+	best, bv := 0, s.cands[0].Q-r*s.cands[0].C
+	for i := 1; i < len(s.cands); i++ {
+		if v := s.cands[i].Q - r*s.cands[i].C; v > bv {
+			best, bv = i, v
+		}
+	}
+	return best
+}

@@ -1,0 +1,120 @@
+package candidate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestSliceListMatchesLinkedList drives both implementations through the
+// same randomized operation sequences and demands identical candidate sets
+// at every step.
+func TestSliceListMatchesLinkedList(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for iter := 0; iter < 200; iter++ {
+		base := randList(rng, 25).Pairs()
+		ll := FromPairs(base)
+		sl := SliceFromPairs(base)
+		for op := 0; op < 12; op++ {
+			switch rng.Intn(4) {
+			case 0:
+				r, c := rng.Float64()*2, rng.Float64()*20
+				ll.AddWire(r, c)
+				sl.AddWire(r, c)
+			case 1:
+				q, c := rng.Float64()*400-200, rng.Float64()*200
+				okL := ll.InsertOne(q, c, nil)
+				okS := sl.InsertOne(q, c, nil)
+				if okL != okS {
+					t.Fatalf("iter %d op %d: InsertOne disagreement (%v vs %v)", iter, op, okL, okS)
+				}
+			case 2:
+				other := randList(rng, 10).Pairs()
+				ll = Merge(ll, FromPairs(other))
+				sl = MergeSlice(sl, SliceFromPairs(other))
+			default:
+				nb := 1 + rng.Intn(6)
+				betas := make([]Beta, nb)
+				c := rng.Float64() * 10
+				q := rng.Float64()*200 - 100
+				for i := range betas {
+					betas[i] = Beta{Q: q, C: c}
+					c += 0.01 + rng.Float64()*20
+					q += 0.01 + rng.Float64()*40
+				}
+				ll.MergeBetas(betas)
+				sl.MergeBetas(betas)
+			}
+			lp, sp := ll.Pairs(), sl.Pairs()
+			if len(lp) != len(sp) {
+				t.Fatalf("iter %d op %d: lengths differ %d vs %d\n%v\n%v", iter, op, len(lp), len(sp), lp, sp)
+			}
+			for i := range lp {
+				if lp[i] != sp[i] {
+					t.Fatalf("iter %d op %d: candidate %d differs: %v vs %v", iter, op, i, lp[i], sp[i])
+				}
+			}
+			if err := ll.Validate(); err != nil {
+				t.Fatalf("iter %d: %v", iter, err)
+			}
+		}
+	}
+}
+
+func TestSliceListHullMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	for iter := 0; iter < 200; iter++ {
+		base := randList(rng, 40).Pairs()
+		ll := FromPairs(base)
+		sl := SliceFromPairs(base)
+		hullL := ll.HullView()
+		hullS := sl.HullIdx()
+		if len(hullL) != len(hullS) {
+			t.Fatalf("iter %d: hull sizes %d vs %d", iter, len(hullL), len(hullS))
+		}
+		for i := range hullS {
+			got := sl.cands[hullS[i]]
+			if got.Q != hullL[i].Q || got.C != hullL[i].C {
+				t.Fatalf("iter %d: hull point %d differs", iter, i)
+			}
+		}
+	}
+}
+
+func TestSliceListBestForRMatches(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for iter := 0; iter < 200; iter++ {
+		base := randList(rng, 30).Pairs()
+		ll := FromPairs(base)
+		sl := SliceFromPairs(base)
+		for trial := 0; trial < 10; trial++ {
+			r := rng.Float64() * 10
+			nd := ll.BestForR(r)
+			i := sl.BestForR(r)
+			if nd.Q != sl.cands[i].Q || nd.C != sl.cands[i].C {
+				t.Fatalf("iter %d r=%g: (%g,%g) vs %v", iter, r, nd.Q, nd.C, sl.cands[i])
+			}
+		}
+	}
+}
+
+func TestSliceListBasics(t *testing.T) {
+	s := NewSliceSink(100, 5, 3)
+	if s.Len() != 1 || s.cands[0] != (Pair{100, 5}) {
+		t.Fatalf("sink slice list wrong: %+v", s)
+	}
+	if s.decs[0].Vertex != 3 || s.decs[0].Kind != DecSink {
+		t.Fatalf("decision wrong: %+v", s.decs[0])
+	}
+	if (&SliceList{}).BestForR(1) != -1 {
+		t.Fatal("empty BestForR must return -1")
+	}
+}
+
+func TestSliceFromPairsPanicsOnDisorder(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SliceFromPairs([]Pair{{1, 1}, {0, 2}})
+}

@@ -1,0 +1,376 @@
+// Package core implements the paper's contribution: optimal buffer insertion
+// with b buffer types in O(bn²) time (Li & Shi, DATE 2005).
+//
+// The structure is van Ginneken's bottom-up dynamic program. The speedup is
+// entirely inside AddBuffer:
+//
+//  1. Convex-prune the candidate list (Graham's scan over the C-sorted
+//     list, O(k)). Every best candidate — the maximizer of Q − R·C for any
+//     buffer resistance R — survives (paper Lemma 3).
+//  2. With the library pre-sorted by non-increasing driving resistance,
+//     walk one pointer forward over the hull: on the concave majorant the
+//     objective Q − R·C is unimodal (Lemma 4) and its maximizer moves
+//     toward larger C as R decreases (Lemma 1), so finding the best
+//     candidates of all b types costs O(k + b) total.
+//  3. The b new buffered candidates, emitted in the pre-computed input-
+//     capacitance order, merge back into the list in one O(k + b) pass
+//     (Theorem 2).
+//
+// Everything else (add-wire O(k), merge O(k₁ + k₂)) is shared with the
+// baselines, giving O(bn²) overall versus Lillis–Cheng–Lin's O(b²n²).
+//
+// Beyond the paper, the package supports inverting buffer types and sink
+// polarity requirements by running the dynamic program on a pair of
+// candidate lists (one per required arrival parity), and exposes two
+// pruning modes — see PruneMode and DESIGN.md §4.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"bufferkit/internal/candidate"
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/tree"
+)
+
+// PruneMode selects how convex pruning interacts with the candidate list.
+type PruneMode uint8
+
+const (
+	// PruneTransient (default) computes the convex hull as a read-only view
+	// used inside AddBuffer, keeping the full nonredundant list. Exact on
+	// all nets; same O(bn²) bound.
+	PruneTransient PruneMode = iota
+	// PruneDestructive removes non-hull candidates from the list itself,
+	// exactly as the paper's printed Convexpruning C code does. Exact on
+	// 2-pin nets; a fast heuristic on multi-pin nets (the merge operation
+	// can promote interior candidates — see DESIGN.md §4).
+	PruneDestructive
+)
+
+// String implements fmt.Stringer.
+func (m PruneMode) String() string {
+	switch m {
+	case PruneTransient:
+		return "transient"
+	case PruneDestructive:
+		return "destructive"
+	}
+	return fmt.Sprintf("PruneMode(%d)", uint8(m))
+}
+
+// Options configure a run.
+type Options struct {
+	// Driver is the source driver; the zero value is an ideal driver.
+	Driver delay.Driver
+	// Prune selects the convex pruning mode.
+	Prune PruneMode
+	// CheckInvariants validates every candidate list after every operation.
+	// For tests; roughly doubles runtime.
+	CheckInvariants bool
+}
+
+// Stats are instrumentation counters for one run.
+type Stats struct {
+	// Positions is the number of buffer positions processed.
+	Positions int
+	// MaxListLen is the largest candidate list length observed.
+	MaxListLen int
+	// SumListLen accumulates list length at each buffer position.
+	SumListLen int
+	// SumHullLen accumulates hull size at each buffer position.
+	SumHullLen int
+	// HullPruned counts candidates off the hull (removed from the list in
+	// destructive mode; merely skipped in transient mode).
+	HullPruned int
+	// BetasGenerated counts buffered candidates produced by the hull walk;
+	// BetasKept counts those surviving normalization.
+	BetasGenerated, BetasKept int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Slack is the optimal slack at the driver input, in ps.
+	Slack float64
+	// Placement maps vertex index to a library type index or -1.
+	Placement delay.Placement
+	// Candidates is the final candidate count at the root (positive-parity
+	// list when polarity is active).
+	Candidates int
+	Stats      Stats
+}
+
+// Insert computes optimal buffer insertion on t with library lib.
+func Insert(t *tree.Tree, lib library.Library, opt Options) (*Result, error) {
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	polar := lib.HasInverters()
+	for i := range t.Verts {
+		if t.Verts[i].Kind == tree.Sink && t.Verts[i].Pol == tree.Negative {
+			if !lib.HasInverters() {
+				return nil, fmt.Errorf("core: sink %d requires negative polarity but the library has no inverters", i)
+			}
+			polar = true
+		}
+	}
+
+	e := &engine{
+		t:       t,
+		lib:     lib,
+		opt:     opt,
+		polar:   polar,
+		orderR:  lib.ByRDesc(),
+		cinRank: make([]int, len(lib)),
+	}
+	for rank, ti := range lib.ByCinAsc() {
+		e.cinRank[ti] = rank
+	}
+	for s := range e.betaSlot {
+		e.betaSlot[s] = make([]candidate.Beta, len(lib))
+		e.betaHas[s] = make([]bool, len(lib))
+	}
+	return e.run()
+}
+
+// engine holds per-run state and scratch buffers.
+type engine struct {
+	t     *tree.Tree
+	lib   library.Library
+	opt   Options
+	polar bool
+
+	orderR  []int // type indices, driving resistance non-increasing
+	cinRank []int // cinRank[type] = rank in input-capacitance order
+
+	hullBuf  [2][]*candidate.Node
+	betaSlot [2][]candidate.Beta // slotted by cin rank, per destination parity
+	betaHas  [2][]bool
+	betaOrd  [2][]candidate.Beta // cin-ordered betas, per destination parity
+
+	stats Stats
+}
+
+// pair is the candidate state at one vertex: pair[0] holds candidates valid
+// when the arriving signal has source polarity, pair[1] when inverted. In
+// non-polar runs only slot 0 is used. A nil list means "no candidate of
+// this parity exists".
+type pair [2]*candidate.List
+
+func (e *engine) run() (*Result, error) {
+	lists := make([]pair, e.t.Len())
+	for _, v := range e.t.PostOrder() {
+		vert := &e.t.Verts[v]
+		if vert.Kind == tree.Sink {
+			s := 0
+			if vert.Pol == tree.Negative {
+				s = 1
+			}
+			var p pair
+			p[s] = candidate.NewSink(vert.RAT, vert.Cap, v)
+			lists[v] = p
+			continue
+		}
+		var acc pair
+		first := true
+		for _, c := range e.t.Children(v) {
+			lc := lists[c]
+			lists[c] = pair{}
+			r, wc := e.t.Verts[c].EdgeR, e.t.Verts[c].EdgeC
+			for s := 0; s < 2; s++ {
+				if lc[s] != nil {
+					lc[s].AddWire(r, wc)
+				}
+			}
+			if first {
+				acc = lc
+				first = false
+			} else {
+				for s := 0; s < 2; s++ {
+					merged := mergeNilable(acc[s], lc[s])
+					recycleNilable(acc[s])
+					recycleNilable(lc[s])
+					acc[s] = merged
+				}
+			}
+		}
+		if acc[0] == nil && acc[1] == nil {
+			return nil, fmt.Errorf("core: subtree at vertex %d has no polarity-feasible candidates", v)
+		}
+		if vert.BufferOK {
+			e.addBuffer(v, &acc, vert.Allowed)
+		}
+		if err := e.check(&acc); err != nil {
+			return nil, err
+		}
+		if n := lenNilable(acc[0]) + lenNilable(acc[1]); n > e.stats.MaxListLen {
+			e.stats.MaxListLen = n
+		}
+		lists[v] = acc
+	}
+
+	root := lists[0][0]
+	if root == nil || root.Len() == 0 {
+		return nil, errors.New("core: no polarity-feasible solution at the source")
+	}
+	res := &Result{
+		Placement:  delay.NewPlacement(e.t.Len()),
+		Candidates: root.Len(),
+		Stats:      e.stats,
+	}
+	best := root.BestForR(e.opt.Driver.R)
+	res.Slack = best.Q - e.opt.Driver.R*best.C - e.opt.Driver.K
+	best.Dec.Fill(res.Placement)
+	return res, nil
+}
+
+// addBuffer is the paper's O(k + b) operation (plus a second parity in
+// polar runs).
+func (e *engine) addBuffer(v int, acc *pair, allowed []int) {
+	e.stats.Positions++
+	e.stats.SumListLen += lenNilable(acc[0]) + lenNilable(acc[1])
+
+	// Hulls of both source lists, before any new candidate lands.
+	var hulls [2][]*candidate.Node
+	for s := 0; s < 2; s++ {
+		l := acc[s]
+		if l == nil || l.Len() == 0 {
+			continue
+		}
+		if e.opt.Prune == PruneDestructive {
+			e.stats.HullPruned += l.ConvexPruneInPlace()
+			hulls[s] = allNodesInto(l, e.hullBuf[s])
+		} else {
+			hulls[s] = l.HullViewInto(e.hullBuf[s])
+			e.stats.HullPruned += l.Len() - len(hulls[s])
+		}
+		e.hullBuf[s] = hulls[s]
+		e.stats.SumHullLen += len(hulls[s])
+	}
+
+	// One monotone pointer per source hull, shared across all types since
+	// the library is walked in non-increasing R order (Lemma 1).
+	var ptr [2]int
+	for _, ti := range e.orderR {
+		if len(allowed) > 0 && !contains(allowed, ti) {
+			continue
+		}
+		b := e.lib[ti]
+		for src := 0; src < 2; src++ {
+			hull := hulls[src]
+			if len(hull) == 0 {
+				continue
+			}
+			p := ptr[src]
+			// Advance while the next hull candidate is strictly better for
+			// this resistance; ties keep the smaller C (the paper's best-
+			// candidate definition).
+			for p+1 < len(hull) &&
+				hull[p+1].Q-b.R*hull[p+1].C > hull[p].Q-b.R*hull[p].C {
+				p++
+			}
+			ptr[src] = p
+			dst := src
+			if b.Inverting {
+				dst = 1 - src
+			}
+			cand := hull[p]
+			beta := candidate.Beta{
+				Q:      cand.Q - b.R*cand.C - b.K,
+				C:      b.Cin,
+				Buffer: ti,
+				Vertex: v,
+				SrcDec: cand.Dec,
+			}
+			e.stats.BetasGenerated++
+			// Slot by cin rank; keep the better Q on rank collision (two
+			// types with equal Cin, or the same type reached from both
+			// parities in degenerate cases).
+			rank := e.cinRank[ti]
+			if !e.betaHas[dst][rank] || beta.Q > e.betaSlot[dst][rank].Q {
+				e.betaSlot[dst][rank] = beta
+				e.betaHas[dst][rank] = true
+			}
+		}
+	}
+
+	// Emit betas in input-capacitance order (O(b)), normalize, merge.
+	for dst := 0; dst < 2; dst++ {
+		ord := e.betaOrd[dst][:0]
+		for rank := 0; rank < len(e.lib); rank++ {
+			if e.betaHas[dst][rank] {
+				ord = append(ord, e.betaSlot[dst][rank])
+				e.betaHas[dst][rank] = false
+			}
+		}
+		e.betaOrd[dst] = ord
+		if len(ord) == 0 {
+			continue
+		}
+		ord = candidate.NormalizeBetas(ord)
+		e.stats.BetasKept += len(ord)
+		if acc[dst] == nil {
+			acc[dst] = &candidate.List{}
+		}
+		acc[dst].MergeBetas(ord)
+	}
+}
+
+func (e *engine) check(acc *pair) error {
+	if !e.opt.CheckInvariants {
+		return nil
+	}
+	for s := 0; s < 2; s++ {
+		if acc[s] == nil {
+			continue
+		}
+		if err := acc[s].Validate(); err != nil {
+			return fmt.Errorf("core: invariant violation: %w", err)
+		}
+	}
+	return nil
+}
+
+// mergeNilable merges two branch lists of the same parity; if either branch
+// offers no candidate of this parity, neither does the merge.
+func mergeNilable(a, b *candidate.List) *candidate.List {
+	if a == nil || b == nil || a.Len() == 0 || b.Len() == 0 {
+		return nil
+	}
+	return candidate.Merge(a, b)
+}
+
+func lenNilable(l *candidate.List) int {
+	if l == nil {
+		return 0
+	}
+	return l.Len()
+}
+
+// recycleNilable returns a consumed branch list's nodes to the pool.
+func recycleNilable(l *candidate.List) {
+	if l != nil {
+		l.Recycle()
+	}
+}
+
+// allNodesInto collects every node of l into buf (after destructive pruning
+// the whole list is the hull).
+func allNodesInto(l *candidate.List, buf []*candidate.Node) []*candidate.Node {
+	out := buf[:0]
+	for nd := l.Front(); nd != nil; nd = nd.Next() {
+		out = append(out, nd)
+	}
+	return out
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

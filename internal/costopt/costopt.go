@@ -1,0 +1,281 @@
+// Package costopt extends the paper's algorithm to buffer-cost
+// minimization — the "reduce buffer cost" application the paper defers to
+// its journal version, in the style of Lillis–Cheng–Lin's resource-aware
+// formulation and Shi–Li–Alpert (ASPDAC 2004).
+//
+// Candidates gain a third coordinate: the total integer cost W of the
+// buffers used. The dynamic program keeps one nonredundant (Q, C) list per
+// reachable cost level and returns the nondominated (cost, slack) frontier
+// at the driver, each point with a witness placement. Within every level,
+// AddBuffer is the paper's O(k + b) convex-pruning operation, so the whole
+// algorithm is the paper's algorithm run per cost level — pseudo-polynomial
+// in the total cost, exact for nonnegative integer costs.
+package costopt
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"bufferkit/internal/candidate"
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/tree"
+)
+
+// Options configure a run.
+type Options struct {
+	// Driver is the source driver; the zero value is an ideal driver.
+	Driver delay.Driver
+	// MaxCost caps the total buffer cost considered; 0 means unlimited.
+	MaxCost int
+	// NoCrossLevelPrune disables pruning candidates dominated by cheaper
+	// levels. Pruning is exact; the switch exists for tests and ablation.
+	NoCrossLevelPrune bool
+}
+
+// Point is one nondominated (cost, slack) solution.
+type Point struct {
+	Cost  int
+	Slack float64
+	// Placement is a witness achieving this point.
+	Placement delay.Placement
+}
+
+// Pareto computes the cost–slack frontier, sorted by increasing cost with
+// strictly increasing slack.
+func Pareto(t *tree.Tree, lib library.Library, opt Options) ([]Point, error) {
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	if lib.HasInverters() {
+		return nil, errors.New("costopt: inverting types not supported")
+	}
+	for i := range t.Verts {
+		if t.Verts[i].Kind == tree.Sink && t.Verts[i].Pol == tree.Negative {
+			return nil, fmt.Errorf("costopt: sink %d requires negative polarity; library has no inverters", i)
+		}
+	}
+
+	e := &engine{t: t, lib: lib, opt: opt, orderR: lib.ByRDesc(), cinRank: make([]int, len(lib))}
+	for rank, ti := range lib.ByCinAsc() {
+		e.cinRank[ti] = rank
+	}
+	return e.run()
+}
+
+// levels maps total buffer cost to its nonredundant candidate list.
+type levels map[int]*candidate.List
+
+// sortedCosts returns the cost keys ascending.
+func (lv levels) sortedCosts() []int {
+	cs := make([]int, 0, len(lv))
+	for c := range lv {
+		cs = append(cs, c)
+	}
+	sort.Ints(cs)
+	return cs
+}
+
+type engine struct {
+	t       *tree.Tree
+	lib     library.Library
+	opt     Options
+	orderR  []int
+	cinRank []int
+}
+
+func (e *engine) run() ([]Point, error) {
+	lists := make([]levels, e.t.Len())
+	for _, v := range e.t.PostOrder() {
+		vert := &e.t.Verts[v]
+		if vert.Kind == tree.Sink {
+			lists[v] = levels{0: candidate.NewSink(vert.RAT, vert.Cap, v)}
+			continue
+		}
+		var acc levels
+		for _, c := range e.t.Children(v) {
+			lc := lists[c]
+			lists[c] = nil
+			for _, l := range lc {
+				l.AddWire(e.t.Verts[c].EdgeR, e.t.Verts[c].EdgeC)
+			}
+			if acc == nil {
+				acc = lc
+			} else {
+				acc = mergeLevels(acc, lc, e.opt.MaxCost)
+			}
+		}
+		if vert.BufferOK {
+			e.addBuffer(v, acc, vert.Allowed)
+		}
+		if !e.opt.NoCrossLevelPrune {
+			crossLevelPrune(acc)
+		}
+		lists[v] = acc
+	}
+
+	root := lists[0]
+	var out []Point
+	for _, w := range root.sortedCosts() {
+		best := root[w].BestForR(e.opt.Driver.R)
+		slack := best.Q - e.opt.Driver.R*best.C - e.opt.Driver.K
+		if len(out) > 0 && slack <= out[len(out)-1].Slack {
+			continue // dominated by a cheaper level
+		}
+		p := delay.NewPlacement(e.t.Len())
+		best.Dec.Fill(p)
+		out = append(out, Point{Cost: w, Slack: slack, Placement: p})
+	}
+	return out, nil
+}
+
+// addBuffer runs the paper's hull walk once per cost level, routing each
+// new buffered candidate to level W + cost(type).
+func (e *engine) addBuffer(v int, acc levels, allowed []int) {
+	type slotKey struct{ level, rank int }
+	slots := map[slotKey]candidate.Beta{}
+	for _, w := range acc.sortedCosts() {
+		hull := acc[w].HullView()
+		p := 0
+		for _, ti := range e.orderR {
+			if len(allowed) > 0 && !contains(allowed, ti) {
+				continue
+			}
+			b := e.lib[ti]
+			nw := w + b.Cost
+			if e.opt.MaxCost > 0 && nw > e.opt.MaxCost {
+				continue
+			}
+			for p+1 < len(hull) && hull[p+1].Q-b.R*hull[p+1].C > hull[p].Q-b.R*hull[p].C {
+				p++
+			}
+			cand := hull[p]
+			beta := candidate.Beta{
+				Q:      cand.Q - b.R*cand.C - b.K,
+				C:      b.Cin,
+				Buffer: ti,
+				Vertex: v,
+				SrcDec: cand.Dec,
+			}
+			key := slotKey{nw, e.cinRank[ti]}
+			if old, ok := slots[key]; !ok || beta.Q > old.Q {
+				slots[key] = beta
+			}
+		}
+	}
+	// Group betas by destination level, emit in cin order, merge.
+	byLevel := map[int][]candidate.Beta{}
+	for key, beta := range slots {
+		byLevel[key.level] = append(byLevel[key.level], beta)
+	}
+	for nw, betas := range byLevel {
+		sort.Slice(betas, func(i, j int) bool {
+			if betas[i].C != betas[j].C {
+				return betas[i].C < betas[j].C
+			}
+			return betas[i].Q > betas[j].Q
+		})
+		betas = candidate.NormalizeBetas(betas)
+		if acc[nw] == nil {
+			acc[nw] = &candidate.List{}
+		}
+		acc[nw].MergeBetas(betas)
+	}
+}
+
+// mergeLevels combines two branch level-sets: every (Wa, Wb) pair merges
+// into level Wa+Wb, with same-level results unioned.
+func mergeLevels(a, b levels, maxCost int) levels {
+	out := levels{}
+	for wa, la := range a {
+		for wb, lb := range b {
+			w := wa + wb
+			if maxCost > 0 && w > maxCost {
+				continue
+			}
+			m := candidate.Merge(la, lb)
+			if cur, ok := out[w]; ok {
+				union(cur, m)
+				m.Recycle()
+			} else {
+				out[w] = m
+			}
+		}
+	}
+	// The input level lists are fully consumed.
+	for _, la := range a {
+		la.Recycle()
+	}
+	for _, lb := range b {
+		lb.Recycle()
+	}
+	return out
+}
+
+// union inserts every candidate of src into dst, keeping dst nonredundant.
+func union(dst, src *candidate.List) {
+	betas := make([]candidate.Beta, 0, src.Len())
+	for nd := src.Front(); nd != nil; nd = nd.Next() {
+		betas = append(betas, candidate.Beta{Q: nd.Q, C: nd.C, Dec: nd.Dec})
+	}
+	dst.MergeBetas(betas)
+}
+
+// crossLevelPrune removes candidates dominated by any candidate at a
+// cheaper (or equal, earlier-seen) level: processing levels in ascending
+// cost order, a running frontier of the best (Q, C) pairs so far prunes
+// each level, then absorbs it. Levels left empty are deleted.
+func crossLevelPrune(acc levels) {
+	costs := acc.sortedCosts()
+	if len(costs) < 2 {
+		return
+	}
+	frontier := &candidate.List{}
+	for _, w := range costs {
+		l := acc[w]
+		pruneAgainst(l, frontier)
+		if l.Len() == 0 {
+			delete(acc, w)
+			continue
+		}
+		union(frontier, l)
+	}
+	frontier.Recycle()
+}
+
+// pruneAgainst removes from l every candidate dominated by a frontier
+// candidate (frontier Q ≥ q with C ≤ c). Both lists are C-sorted, so one
+// forward sweep suffices.
+func pruneAgainst(l, frontier *candidate.List) {
+	if frontier.Len() == 0 {
+		return
+	}
+	f := frontier.Front()
+	bestQ := 0.0
+	hasF := false
+	nd := l.Front()
+	for nd != nil {
+		for f != nil && f.C <= nd.C {
+			bestQ = f.Q // frontier Q increases with C
+			hasF = true
+			f = f.Next()
+		}
+		if hasF && bestQ >= nd.Q {
+			nxt := nd.Next()
+			l.Remove(nd)
+			nd = nxt
+		} else {
+			nd = nd.Next()
+		}
+	}
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

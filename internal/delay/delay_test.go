@@ -1,0 +1,269 @@
+package delay
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"bufferkit/internal/library"
+	"bufferkit/internal/tree"
+)
+
+var lib = library.Library{
+	{Name: "buf", R: 0.5, Cin: 1, K: 5},
+	{Name: "inv", R: 0.5, Cin: 1, K: 5, Inverting: true},
+}
+
+func twoPin(t *testing.T, bufferable bool) *tree.Tree {
+	t.Helper()
+	b := tree.NewBuilder()
+	var v int
+	if bufferable {
+		v = b.AddBufferPos(0, 1, 2)
+	} else {
+		v = b.AddInternal(0, 1, 2)
+	}
+	b.AddSink(v, 2, 4, 3, 100)
+	tr, err := b.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestWireDelay(t *testing.T) {
+	if got := WireDelay(2, 4, 3); got != 10 {
+		t.Fatalf("WireDelay = %g, want 10", got)
+	}
+	if got := WireDelay(0, 100, 100); got != 0 {
+		t.Fatalf("zero-R WireDelay = %g, want 0", got)
+	}
+}
+
+func TestEvaluateUnbuffered(t *testing.T) {
+	tr := twoPin(t, true)
+	r, err := Evaluate(tr, lib, NewPlacement(tr.Len()), Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// arr(v1) = 1*(2/2 + (4+3)) = 8; arr(sink) = 8 + 2*(4/2+3) = 18
+	if want := 100.0 - 18; r.Slack != want {
+		t.Fatalf("Slack = %g, want %g", r.Slack, want)
+	}
+	if r.CriticalSink != 2 {
+		t.Fatalf("CriticalSink = %d, want 2", r.CriticalSink)
+	}
+	if r.RootCap != 2+4+3 {
+		t.Fatalf("RootCap = %g, want 9", r.RootCap)
+	}
+	if r.Buffers != 0 || len(r.PolarityViolations) != 0 {
+		t.Fatalf("unexpected buffers/violations: %+v", r)
+	}
+}
+
+func TestEvaluateBuffered(t *testing.T) {
+	tr := twoPin(t, true)
+	p := NewPlacement(tr.Len())
+	p[1] = 0
+	r, err := Evaluate(tr, lib, p, Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// arr_in(v1) = 1*(2/2 + 1) = 2 ; buffer: +5 + 0.5*(4+3) = 8.5
+	// arr(sink) = 2 + 8.5 + 2*(4/2+3) = 20.5
+	if want := 100.0 - 20.5; r.Slack != want {
+		t.Fatalf("Slack = %g, want %g", r.Slack, want)
+	}
+	if r.RootCap != 2+1 {
+		t.Fatalf("RootCap = %g, want 3 (buffer shields downstream)", r.RootCap)
+	}
+	if r.Buffers != 1 {
+		t.Fatalf("Buffers = %d, want 1", r.Buffers)
+	}
+}
+
+func TestEvaluateDriver(t *testing.T) {
+	tr := twoPin(t, true)
+	r, err := Evaluate(tr, lib, NewPlacement(tr.Len()), Driver{R: 0.5, K: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// driver: 10 + 0.5*9 = 14.5 on top of the unbuffered 18.
+	if want := 100.0 - 18 - 14.5; r.Slack != want {
+		t.Fatalf("Slack = %g, want %g", r.Slack, want)
+	}
+	if r.Arrival[0] != 14.5 {
+		t.Fatalf("Arrival[0] = %g, want 14.5", r.Arrival[0])
+	}
+}
+
+func TestEvaluateYNetMinSlack(t *testing.T) {
+	b := tree.NewBuilder()
+	v := b.AddBufferPos(0, 1, 2)
+	s1 := b.AddSink(v, 2, 4, 3, 100)
+	s2 := b.AddSink(v, 1, 2, 5, 50)
+	tr := b.MustBuild()
+	r, err := Evaluate(tr, lib, NewPlacement(tr.Len()), Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// load(v) = (4+3)+(2+5) = 14; arr(v) = 1*(2/2+14) = 15
+	// arr(s1) = 15 + 2*(4/2+3) = 25 ; slack 75
+	// arr(s2) = 15 + 1*(2/2+5) = 21 ; slack 29
+	if r.Slack != 29 {
+		t.Fatalf("Slack = %g, want 29", r.Slack)
+	}
+	if r.CriticalSink != s2 {
+		t.Fatalf("CriticalSink = %d, want %d", r.CriticalSink, s2)
+	}
+	if r.Arrival[s1] != 25 {
+		t.Fatalf("Arrival[s1] = %g, want 25", r.Arrival[s1])
+	}
+}
+
+func TestPolarityTracking(t *testing.T) {
+	b := tree.NewBuilder()
+	v1 := b.AddBufferPos(0, 1, 1)
+	v2 := b.AddBufferPos(v1, 1, 1)
+	b.AddSinkPol(v2, 1, 1, 2, 100, tree.Negative)
+	tr := b.MustBuild()
+
+	// No inverter: the negative sink is violated.
+	r, err := Evaluate(tr, lib, NewPlacement(tr.Len()), Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PolarityViolations) != 1 || r.PolarityViolations[0] != 3 {
+		t.Fatalf("violations = %v, want [3]", r.PolarityViolations)
+	}
+
+	// One inverter fixes it.
+	p := NewPlacement(tr.Len())
+	p[v1] = 1
+	r, err = Evaluate(tr, lib, p, Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PolarityViolations) != 0 {
+		t.Fatalf("violations = %v, want none", r.PolarityViolations)
+	}
+
+	// Two inverters break it again.
+	p[v2] = 1
+	r, err = Evaluate(tr, lib, p, Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.PolarityViolations) != 1 {
+		t.Fatalf("violations = %v, want [3]", r.PolarityViolations)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	tr := twoPin(t, false) // not a buffer position
+	p := NewPlacement(tr.Len())
+	p[1] = 0
+	if _, err := Evaluate(tr, lib, p, Driver{}); err == nil || !strings.Contains(err.Error(), "not a legal buffer position") {
+		t.Fatalf("err = %v", err)
+	}
+
+	tr2 := twoPin(t, true)
+	if _, err := Evaluate(tr2, lib, NewPlacement(1), Driver{}); err == nil || !strings.Contains(err.Error(), "placement length") {
+		t.Fatalf("err = %v", err)
+	}
+
+	p2 := NewPlacement(tr2.Len())
+	p2[1] = 99
+	if _, err := Evaluate(tr2, lib, p2, Driver{}); err == nil || !strings.Contains(err.Error(), "out of library range") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvaluateRespectsAllowed(t *testing.T) {
+	b := tree.NewBuilder()
+	v := b.AddBufferPosRestricted(0, 1, 1, []int{1})
+	b.AddSink(v, 1, 1, 2, 100)
+	tr := b.MustBuild()
+	p := NewPlacement(tr.Len())
+	p[v] = 0
+	if _, err := Evaluate(tr, lib, p, Driver{}); err == nil || !strings.Contains(err.Error(), "not allowed") {
+		t.Fatalf("err = %v", err)
+	}
+	p[v] = 1
+	if _, err := Evaluate(tr, lib, p, Driver{}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlacementHelpers(t *testing.T) {
+	p := NewPlacement(4)
+	for _, v := range p {
+		if v != NoBuffer {
+			t.Fatal("NewPlacement not all NoBuffer")
+		}
+	}
+	p[1], p[3] = 0, 1
+	if p.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", p.Count())
+	}
+	costLib := library.Library{{R: 1, Cin: 1, Cost: 3}, {R: 1, Cin: 1, Cost: 5}}
+	if got := p.Cost(costLib); got != 8 {
+		t.Fatalf("Cost = %d, want 8", got)
+	}
+}
+
+// TestBufferShieldingImprovesLongLine checks the physics the whole exercise
+// rests on: on a long resistive line, a buffer placed mid-way reduces the
+// sink delay.
+func TestBufferShieldingImprovesLongLine(t *testing.T) {
+	w := 5000.0 // µm
+	r, c := library.PaperWireR*w/2, library.PaperWireC*w/2
+	b := tree.NewBuilder()
+	v := b.AddBufferPos(0, r, c)
+	b.AddSink(v, r, c, 10, 0)
+	tr := b.MustBuild()
+
+	drv := Driver{R: 0.5}
+	unbuf, err := Evaluate(tr, lib, NewPlacement(tr.Len()), drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := NewPlacement(tr.Len())
+	p[v] = 0
+	buf, err := Evaluate(tr, lib, p, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(buf.Slack > unbuf.Slack) {
+		t.Fatalf("buffering did not help: %g vs %g", buf.Slack, unbuf.Slack)
+	}
+	if math.IsNaN(buf.Slack) || math.IsInf(buf.Slack, 0) {
+		t.Fatal("non-finite slack")
+	}
+}
+
+func TestCriticalPath(t *testing.T) {
+	b := tree.NewBuilder()
+	v := b.AddBufferPos(0, 1, 2)
+	b.AddSink(v, 2, 4, 3, 100)
+	s2 := b.AddSink(v, 1, 2, 5, 10) // much tighter RAT: critical
+	tr := b.MustBuild()
+	r, err := Evaluate(tr, lib, NewPlacement(tr.Len()), Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := r.CriticalPath(tr)
+	want := []int{0, v, s2}
+	if len(got) != len(want) {
+		t.Fatalf("CriticalPath = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("CriticalPath = %v, want %v", got, want)
+		}
+	}
+	empty := &Result{CriticalSink: -1}
+	if empty.CriticalPath(tr) != nil {
+		t.Fatal("no critical sink must yield nil path")
+	}
+}

@@ -1,0 +1,139 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// smallCfg shrinks the paper sizes ~50× so the whole suite runs in seconds.
+func smallCfg(buf *bytes.Buffer) Config {
+	return Config{Scale: 48, Reps: 1, Out: buf}
+}
+
+func lines(s string) []string {
+	var out []string
+	for _, l := range strings.Split(s, "\n") {
+		if strings.TrimSpace(l) != "" {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+func TestTable1Shape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(smallCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(buf.String())
+	// title + header + rule + 3 cases × 4 library sizes
+	if want := 3 + 3*4; len(got) != want {
+		t.Fatalf("got %d lines, want %d:\n%s", len(got), want, buf.String())
+	}
+	if strings.Contains(buf.String(), "NO") {
+		t.Fatalf("algorithms disagreed:\n%s", buf.String())
+	}
+	for _, b := range []string{" 8 ", " 16 ", " 32 ", " 64 "} {
+		if !strings.Contains(buf.String(), b) {
+			t.Fatalf("missing library size %q:\n%s", b, buf.String())
+		}
+	}
+}
+
+func TestFig3Shape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig3(smallCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(buf.String())
+	if want := 3 + 8; len(got) != want {
+		t.Fatalf("got %d lines, want %d:\n%s", len(got), want, buf.String())
+	}
+	// The first normalized entries must be 1.
+	if !strings.Contains(got[3], "1") {
+		t.Fatalf("first row not normalized to 1:\n%s", buf.String())
+	}
+}
+
+func TestFig4Shape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Fig4(smallCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(buf.String())
+	if want := 3 + 6; len(got) != want {
+		t.Fatalf("got %d lines, want %d:\n%s", len(got), want, buf.String())
+	}
+}
+
+func TestLibReduceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := LibReduce(smallCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "full") || !strings.Contains(out, "reduced-8") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// Quality loss is nonnegative by optimality; the column must not carry
+	// a negative sign beyond float noise.
+	if strings.Contains(out, "-1") && strings.Contains(out, "loss") {
+		for _, l := range lines(out)[3:] {
+			f := strings.Fields(l)
+			if strings.HasPrefix(f[len(f)-1], "-1") {
+				t.Fatalf("negative quality loss:\n%s", out)
+			}
+		}
+	}
+}
+
+func TestListLenShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := ListLen(smallCfg(&buf)); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(buf.String())
+	if want := 3 + 4; len(got) != want {
+		t.Fatalf("got %d lines, want %d:\n%s", len(got), want, buf.String())
+	}
+}
+
+func TestAllRunsEverything(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallCfg(&buf)
+	cfg.Scale = 96
+	if err := All(cfg); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"Table 1", "Fig 3", "Fig 4", "Library reduction", "List lengths"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing section %q", want)
+		}
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := smallCfg(&buf)
+	cfg.Scale = 96
+	cfg.CSV = true
+	if err := Table1(cfg); err != nil {
+		t.Fatal(err)
+	}
+	got := lines(buf.String())
+	if !strings.Contains(got[1], "m,n,b,") {
+		t.Fatalf("no CSV header:\n%s", buf.String())
+	}
+	if want := 2 + 12; len(got) != want {
+		t.Fatalf("got %d lines, want %d", len(got), want)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	c := Config{}.fill()
+	if c.Scale != 1 || c.Reps != 2 || c.Out == nil {
+		t.Fatalf("defaults wrong: %+v", c)
+	}
+}

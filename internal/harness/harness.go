@@ -1,0 +1,153 @@
+// Package harness provides the measurement utilities the experiment
+// binaries and benchmarks share: repeated wall-clock timing, series
+// normalization (the paper's figures plot normalized runtime), and plain
+// text/CSV table rendering.
+package harness
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// Time runs f once and returns the elapsed wall-clock seconds.
+func Time(f func()) float64 {
+	start := time.Now()
+	f()
+	return time.Since(start).Seconds()
+}
+
+// TimeBest runs f reps times and returns the fastest wall-clock seconds —
+// the conventional noise-resistant estimate for deterministic workloads.
+// reps < 1 is treated as 1.
+func TimeBest(reps int, f func()) float64 {
+	best := 0.0
+	for i := 0; i < reps || i < 1; i++ {
+		if t := Time(f); i == 0 || t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// Normalize divides every element by the first, reproducing the paper's
+// "normalized running time" axes. An empty or zero-leading series is
+// returned unchanged.
+func Normalize(xs []float64) []float64 {
+	if len(xs) == 0 || xs[0] == 0 {
+		return append([]float64(nil), xs...)
+	}
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = x / xs[0]
+	}
+	return out
+}
+
+// Table accumulates rows and renders them column-aligned or as CSV.
+type Table struct {
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given column headers.
+func NewTable(headers ...string) *Table {
+	return &Table{headers: headers}
+}
+
+// Add appends a row; cells beyond the header count are rejected.
+func (t *Table) Add(cells ...string) {
+	if len(cells) > len(t.headers) {
+		panic(fmt.Sprintf("harness: row has %d cells, table has %d columns", len(cells), len(t.headers)))
+	}
+	row := make([]string, len(t.headers))
+	copy(row, cells)
+	t.rows = append(t.rows, row)
+}
+
+// Addf appends a row of formatted values: strings pass through, float64
+// render with %.4g, ints with %d.
+func (t *Table) Addf(cells ...any) {
+	out := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			out[i] = v
+		case float64:
+			out[i] = fmt.Sprintf("%.4g", v)
+		case int:
+			out[i] = fmt.Sprintf("%d", v)
+		default:
+			out[i] = fmt.Sprint(v)
+		}
+	}
+	t.Add(out...)
+}
+
+// Len returns the number of data rows.
+func (t *Table) Len() int { return len(t.rows) }
+
+// Render writes the table with aligned columns.
+func (t *Table) Render(w io.Writer) error {
+	width := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		width[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", width[i], c)
+		}
+		_, err := fmt.Fprintln(w, strings.TrimRight(strings.Join(parts, "  "), " "))
+		return err
+	}
+	if err := line(t.headers); err != nil {
+		return err
+	}
+	rule := make([]string, len(t.headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", width[i])
+	}
+	if err := line(rule); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := line(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CSV writes the table as comma-separated values (cells containing commas
+// or quotes are quoted).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := fmt.Fprintln(w, strings.Join(parts, ","))
+		return err
+	}
+	if err := writeRow(t.headers); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package harness
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTimeMeasuresElapsed(t *testing.T) {
+	s := Time(func() { time.Sleep(20 * time.Millisecond) })
+	if s < 0.015 || s > 2 {
+		t.Fatalf("Time = %g s, expected ≈ 0.02", s)
+	}
+}
+
+func TestTimeBestTakesMinimum(t *testing.T) {
+	n := 0
+	s := TimeBest(3, func() {
+		n++
+		if n == 1 {
+			time.Sleep(30 * time.Millisecond)
+		}
+	})
+	if n != 3 {
+		t.Fatalf("ran %d times, want 3", n)
+	}
+	if s > 0.02 {
+		t.Fatalf("TimeBest = %g, should be far below the slow first run", s)
+	}
+	if TimeBest(0, func() { n++ }); n != 4 {
+		t.Fatal("reps<1 must still run once")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 10})
+	want := []float64{1, 2, 5}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("Normalize = %v, want %v", got, want)
+		}
+	}
+	if out := Normalize(nil); len(out) != 0 {
+		t.Fatal("Normalize(nil) not empty")
+	}
+	if out := Normalize([]float64{0, 5}); out[0] != 0 || out[1] != 5 {
+		t.Fatalf("zero-leading series must pass through, got %v", out)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("m", "algo", "time")
+	tab.Addf(1944, "lillis", 1.25)
+	tab.Addf(1944, "new", 0.111)
+	var b bytes.Buffer
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want header+rule+2 rows, got %d lines:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "m") || !strings.Contains(lines[0], "algo") {
+		t.Fatalf("header wrong: %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "lillis") || !strings.Contains(lines[3], "0.111") {
+		t.Fatalf("rows wrong:\n%s", out)
+	}
+	if tab.Len() != 2 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.Add("x,y", `say "hi"`)
+	var b bytes.Buffer
+	if err := tab.CSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+	if b.String() != want {
+		t.Fatalf("CSV = %q, want %q", b.String(), want)
+	}
+}
+
+func TestTableRejectsWideRows(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTable("only").Add("a", "b")
+}
+
+func TestTableShortRowsPad(t *testing.T) {
+	tab := NewTable("a", "b")
+	tab.Add("x")
+	var b bytes.Buffer
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "x") {
+		t.Fatal("short row lost")
+	}
+}

@@ -1,0 +1,154 @@
+// Package libreduce implements buffer-library reduction by clustering, in
+// the spirit of Alpert, Gandham, Neves & Quay, "Buffer library selection"
+// (ICCD 2000) — the approach the paper's introduction positions itself
+// against: shrinking the library makes O(b²n²) insertion affordable but
+// degrades solution quality. The repro experiment quantifies that loss and
+// shows the O(bn²) algorithm removing the need for it.
+package libreduce
+
+import (
+	"fmt"
+	"math"
+
+	"bufferkit/internal/library"
+)
+
+// Reduce selects k representative buffer types from lib using deterministic
+// greedy k-center clustering in a normalized (log R, log Cin, K) feature
+// space. Inverting and non-inverting types are clustered separately with
+// proportional budgets. It returns the reduced library and the indices of
+// the chosen types in the original library, both in original order.
+func Reduce(lib library.Library, k int) (library.Library, []int, error) {
+	if err := lib.Validate(); err != nil {
+		return nil, nil, err
+	}
+	if k < 1 || k > len(lib) {
+		return nil, nil, fmt.Errorf("libreduce: k=%d outside 1..%d", k, len(lib))
+	}
+	var bufs, invs []int
+	for i, b := range lib {
+		if b.Inverting {
+			invs = append(invs, i)
+		} else {
+			bufs = append(bufs, i)
+		}
+	}
+	// Proportional budget, at least one per nonempty class when k allows.
+	kInv := 0
+	if len(invs) > 0 {
+		kInv = k * len(invs) / len(lib)
+		if kInv == 0 {
+			kInv = 1
+		}
+		if kInv > len(invs) {
+			kInv = len(invs)
+		}
+	}
+	kBuf := k - kInv
+	if kBuf > len(bufs) {
+		kBuf = len(bufs)
+		kInv = k - kBuf
+	}
+	if kBuf == 0 && len(bufs) > 0 && kInv > 1 {
+		kBuf, kInv = 1, kInv-1
+	}
+
+	chosen := append(kCenter(lib, bufs, kBuf), kCenter(lib, invs, kInv)...)
+	// Restore original order.
+	mark := make([]bool, len(lib))
+	for _, i := range chosen {
+		mark[i] = true
+	}
+	var idx []int
+	var out library.Library
+	for i := range lib {
+		if mark[i] {
+			idx = append(idx, i)
+			out = append(out, lib[i])
+		}
+	}
+	return out, idx, nil
+}
+
+// features maps a buffer to the normalized clustering space.
+func features(lib library.Library, members []int) [][3]float64 {
+	lo := [3]float64{math.Inf(1), math.Inf(1), math.Inf(1)}
+	hi := [3]float64{math.Inf(-1), math.Inf(-1), math.Inf(-1)}
+	raw := make([][3]float64, len(members))
+	for j, i := range members {
+		b := lib[i]
+		raw[j] = [3]float64{math.Log(b.R), math.Log(b.Cin), b.K}
+		for d := 0; d < 3; d++ {
+			lo[d] = math.Min(lo[d], raw[j][d])
+			hi[d] = math.Max(hi[d], raw[j][d])
+		}
+	}
+	for j := range raw {
+		for d := 0; d < 3; d++ {
+			if hi[d] > lo[d] {
+				raw[j][d] = (raw[j][d] - lo[d]) / (hi[d] - lo[d])
+			} else {
+				raw[j][d] = 0
+			}
+		}
+	}
+	return raw
+}
+
+func dist2(a, b [3]float64) float64 {
+	d0, d1, d2 := a[0]-b[0], a[1]-b[1], a[2]-b[2]
+	return d0*d0 + d1*d1 + d2*d2
+}
+
+// kCenter greedily picks k members maximizing pairwise spread: it seeds
+// with the member nearest the feature centroid, then repeatedly adds the
+// member farthest from the chosen set. Deterministic; ties break toward
+// the lower original index.
+func kCenter(lib library.Library, members []int, k int) []int {
+	if k <= 0 || len(members) == 0 {
+		return nil
+	}
+	if k >= len(members) {
+		return append([]int(nil), members...)
+	}
+	fs := features(lib, members)
+	var centroid [3]float64
+	for _, f := range fs {
+		for d := 0; d < 3; d++ {
+			centroid[d] += f[d]
+		}
+	}
+	for d := 0; d < 3; d++ {
+		centroid[d] /= float64(len(fs))
+	}
+	seed, best := 0, math.Inf(1)
+	for j, f := range fs {
+		if d := dist2(f, centroid); d < best {
+			seed, best = j, d
+		}
+	}
+	chosen := []int{seed}
+	minD := make([]float64, len(fs))
+	for j := range fs {
+		minD[j] = dist2(fs[j], fs[seed])
+	}
+	for len(chosen) < k {
+		far, farD := -1, -1.0
+		for j := range fs {
+			if minD[j] > farD {
+				far, farD = j, minD[j]
+			}
+		}
+		chosen = append(chosen, far)
+		for j := range fs {
+			if d := dist2(fs[j], fs[far]); d < minD[j] {
+				minD[j] = d
+			}
+		}
+	}
+	out := make([]int, len(chosen))
+	for i, j := range chosen {
+		out[i] = members[j]
+	}
+	return out
+}

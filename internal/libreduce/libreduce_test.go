@@ -1,0 +1,136 @@
+package libreduce
+
+import (
+	"reflect"
+	"testing"
+
+	"bufferkit/internal/core"
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/netgen"
+	"bufferkit/internal/testutil"
+)
+
+func TestReduceBasics(t *testing.T) {
+	lib := library.Generate(64)
+	for _, k := range []int{1, 4, 8, 32, 64} {
+		red, idx, err := Reduce(lib, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(red) != k || len(idx) != k {
+			t.Fatalf("k=%d: got %d types", k, len(red))
+		}
+		if err := red.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		for j, i := range idx {
+			if red[j] != lib[i] {
+				t.Fatalf("k=%d: reduced[%d] is not lib[%d]", k, j, i)
+			}
+			if j > 0 && idx[j] <= idx[j-1] {
+				t.Fatalf("k=%d: indices not in original order: %v", k, idx)
+			}
+		}
+	}
+}
+
+func TestReduceDeterministic(t *testing.T) {
+	lib := library.Generate(32)
+	_, a, err := Reduce(lib, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, err := Reduce(lib, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("nondeterministic: %v vs %v", a, b)
+	}
+}
+
+func TestReduceSpreadsSelection(t *testing.T) {
+	// Reducing a graded library should keep types across the drive range,
+	// not k clones of one corner.
+	lib := library.Generate(64)
+	red, _, err := Reduce(lib, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minR, maxR := red[0].R, red[0].R
+	for _, b := range red {
+		if b.R < minR {
+			minR = b.R
+		}
+		if b.R > maxR {
+			maxR = b.R
+		}
+	}
+	if maxR/minR < 10 {
+		t.Fatalf("selection collapsed to R range %g..%g", minR, maxR)
+	}
+}
+
+func TestReduceErrors(t *testing.T) {
+	lib := library.Generate(8)
+	if _, _, err := Reduce(lib, 0); err == nil {
+		t.Fatal("accepted k=0")
+	}
+	if _, _, err := Reduce(lib, 9); err == nil {
+		t.Fatal("accepted k>b")
+	}
+	if _, _, err := Reduce(library.Library{}, 1); err == nil {
+		t.Fatal("accepted empty library")
+	}
+}
+
+func TestReduceKeepsInverterBalance(t *testing.T) {
+	lib := library.GenerateWithInverters(16) // 8 buffers + 8 inverters
+	red, _, err := Reduce(lib, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nb, ni := 0, 0
+	for _, b := range red {
+		if b.Inverting {
+			ni++
+		} else {
+			nb++
+		}
+	}
+	if nb != 2 || ni != 2 {
+		t.Fatalf("got %d buffers, %d inverters; want 2 and 2", nb, ni)
+	}
+}
+
+// TestReducedLibraryNeverBeatsFull: the reduced library is a subset, so the
+// optimal slack can only get worse — the quality loss the paper's
+// introduction warns about.
+func TestReducedLibraryNeverBeatsFull(t *testing.T) {
+	lib := library.Generate(32)
+	drv := delay.Driver{R: 0.3, K: 5}
+	for seed := int64(0); seed < 5; seed++ {
+		tr, err := netgen.Industrial(10, 150, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := core.Insert(tr, lib, core.Options{Driver: drv})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []int{2, 4, 8} {
+			red, _, err := Reduce(lib, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := core.Insert(tr, red, core.Options{Driver: drv})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Slack > full.Slack+testutil.Tol {
+				t.Fatalf("seed %d k=%d: reduced %g beats full %g", seed, k, got.Slack, full.Slack)
+			}
+		}
+	}
+}

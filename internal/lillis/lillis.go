@@ -1,0 +1,135 @@
+// Package lillis implements the Lillis–Cheng–Lin extension of van Ginneken's
+// algorithm to b buffer types (IEEE JSSC 1996) — the O(b²n²) baseline the
+// paper measures against.
+//
+// Its AddBuffer operation is the quadratic-in-b step the paper removes: for
+// each of the b types it scans the whole candidate list (O(bk)) to find the
+// best unbuffered candidate, and then inserts each of the b new candidates
+// by an O(k) linear-scan insertion (another O(bk)).
+package lillis
+
+import (
+	"errors"
+	"fmt"
+
+	"bufferkit/internal/candidate"
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/tree"
+)
+
+// Stats are instrumentation counters for one run.
+type Stats struct {
+	// Positions is the number of buffer positions processed.
+	Positions int
+	// MaxListLen is the largest candidate list length observed.
+	MaxListLen int
+	// SumListLen accumulates list length at every buffer position, for
+	// average-length analysis (why runtime looks linear in b in practice).
+	SumListLen int
+	// BetasInserted counts buffered candidates that survived insertion.
+	BetasInserted int
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	// Slack is the optimal slack at the driver input, in ps.
+	Slack float64
+	// Placement maps vertex index to a library type index or -1.
+	Placement delay.Placement
+	// Candidates is the final candidate count at the root.
+	Candidates int
+	Stats      Stats
+}
+
+// Insert computes optimal buffer insertion on t with library lib and driver
+// drv. Inverting types and negative-polarity sinks are not supported by this
+// baseline (matching the paper's experimental setup); use internal/core for
+// polarity-aware insertion.
+func Insert(t *tree.Tree, lib library.Library, drv delay.Driver) (*Result, error) {
+	if err := lib.Validate(); err != nil {
+		return nil, err
+	}
+	if lib.HasInverters() {
+		return nil, errors.New("lillis: inverting types not supported; use internal/core")
+	}
+	for i := range t.Verts {
+		if t.Verts[i].Kind == tree.Sink && t.Verts[i].Pol == tree.Negative {
+			return nil, fmt.Errorf("lillis: sink %d requires negative polarity; library has no inverters", i)
+		}
+	}
+
+	res := &Result{Placement: delay.NewPlacement(t.Len())}
+	lists := make([]*candidate.List, t.Len())
+	betas := make([]candidate.Beta, 0, len(lib))
+	for _, v := range t.PostOrder() {
+		vert := &t.Verts[v]
+		if vert.Kind == tree.Sink {
+			lists[v] = candidate.NewSink(vert.RAT, vert.Cap, v)
+			continue
+		}
+		var cur *candidate.List
+		for _, c := range t.Children(v) {
+			lc := lists[c]
+			lists[c] = nil
+			lc.AddWire(t.Verts[c].EdgeR, t.Verts[c].EdgeC)
+			if cur == nil {
+				cur = lc
+			} else {
+				m := candidate.Merge(cur, lc)
+				cur.Recycle()
+				lc.Recycle()
+				cur = m
+			}
+		}
+		if vert.BufferOK {
+			res.Stats.Positions++
+			res.Stats.SumListLen += cur.Len()
+			betas = addBuffer(cur, lib, vert.Allowed, v, betas[:0])
+			for i := range betas {
+				if cur.InsertOne(betas[i].Q, betas[i].C, betas[i].Dec) {
+					res.Stats.BetasInserted++
+				}
+			}
+		}
+		if cur.Len() > res.Stats.MaxListLen {
+			res.Stats.MaxListLen = cur.Len()
+		}
+		lists[v] = cur
+	}
+
+	root := lists[0]
+	res.Candidates = root.Len()
+	best := root.BestForR(drv.R)
+	res.Slack = best.Q - drv.R*best.C - drv.K
+	best.Dec.Fill(res.Placement)
+	return res, nil
+}
+
+// addBuffer generates one buffered candidate per allowed type by a full
+// linear scan of the list — the O(b·k) step.
+func addBuffer(l *candidate.List, lib library.Library, allowed []int, vertex int, out []candidate.Beta) []candidate.Beta {
+	for ti := range lib {
+		if len(allowed) > 0 && !contains(allowed, ti) {
+			continue
+		}
+		b := lib[ti]
+		best := l.BestForR(b.R)
+		out = append(out, candidate.Beta{
+			Q:      best.Q - b.R*best.C - b.K,
+			C:      b.Cin,
+			Buffer: ti,
+			Dec:    &candidate.Decision{Kind: candidate.DecBuffer, Vertex: vertex, Buffer: ti, A: best.Dec},
+		})
+	}
+	return out
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,228 @@
+// Package netgen generates deterministic synthetic nets: the workloads for
+// tests, examples and the paper's experiments. All generators are seeded and
+// reproducible; electrical parameters default to the paper's TSMC 180 nm
+// constants (see internal/library).
+package netgen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bufferkit/internal/library"
+	"bufferkit/internal/segment"
+	"bufferkit/internal/tree"
+)
+
+// Wire is a per-µm wire parameterization.
+type Wire struct {
+	// R is resistance per µm in kΩ/µm; C is capacitance per µm in fF/µm.
+	R, C float64
+}
+
+// PaperWire returns the paper's TSMC 180 nm wire: 0.076 Ω/µm, 0.118 fF/µm.
+func PaperWire() Wire {
+	return Wire{R: library.PaperWireR, C: library.PaperWireC}
+}
+
+// Edge returns the lumped RC of a wire of the given length in µm.
+func (w Wire) Edge(length float64) (r, c float64) {
+	return w.R * length, w.C * length
+}
+
+// TwoPin builds a 2-pin net: a single wire of the given total length (µm)
+// from the source to one sink, divided into `positions`+1 equal segments
+// with a buffer position at each internal junction.
+func TwoPin(length float64, positions int, sinkCap, rat float64, w Wire) *tree.Tree {
+	if positions < 0 {
+		panic(fmt.Sprintf("netgen: negative positions %d", positions))
+	}
+	b := tree.NewBuilder()
+	segLen := length / float64(positions+1)
+	r, c := w.Edge(segLen)
+	parent := 0
+	for i := 0; i < positions; i++ {
+		parent = b.AddBufferPos(parent, r, c)
+	}
+	b.AddSink(parent, r, c, sinkCap, rat)
+	return b.MustBuild()
+}
+
+// Balanced builds a perfectly balanced tree of the given fanout and depth:
+// every internal junction is a buffer position and all leaves are sinks with
+// identical load and RAT — a clock-tree-like workload. Edge length halves
+// at each level starting from rootEdge µm.
+func Balanced(fanout, depth int, rootEdge, sinkCap, rat float64, w Wire) *tree.Tree {
+	if fanout < 1 || depth < 1 {
+		panic(fmt.Sprintf("netgen: invalid balanced tree fanout=%d depth=%d", fanout, depth))
+	}
+	b := tree.NewBuilder()
+	var grow func(parent int, level int, edgeLen float64)
+	grow = func(parent int, level int, edgeLen float64) {
+		r, c := w.Edge(edgeLen)
+		if level == depth {
+			b.AddSink(parent, r, c, sinkCap, rat)
+			return
+		}
+		v := b.AddBufferPos(parent, r, c)
+		for i := 0; i < fanout; i++ {
+			grow(v, level+1, edgeLen/2)
+		}
+	}
+	for i := 0; i < fanout; i++ {
+		grow(0, 1, rootEdge)
+	}
+	return b.MustBuild()
+}
+
+// Opts parameterize Random and Industrial topologies.
+type Opts struct {
+	// Sinks is the number of sinks (≥ 1).
+	Sinks int
+	// Seed makes generation deterministic.
+	Seed int64
+	// Wire is the per-µm wire parameterization; zero value = PaperWire.
+	Wire Wire
+	// MaxFanout bounds branching (default 3).
+	MaxFanout int
+	// EdgeMin/EdgeMax bound random edge lengths in µm (default 50–800).
+	EdgeMin, EdgeMax float64
+	// RATMin/RATMax bound random sink RATs in ps (default 800–2000).
+	RATMin, RATMax float64
+	// StemProb is the chance of inserting a degree-1 buffer position on an
+	// edge while growing the topology (default 0.3). Set NoStems to disable
+	// stems entirely.
+	StemProb float64
+	// NoStems disables stem vertices regardless of StemProb.
+	NoStems bool
+	// NegativeSinkProb makes some sinks require inverted polarity; leave 0
+	// for the paper's (polarity-free) setting.
+	NegativeSinkProb float64
+	// BranchBufferOK makes branch points legal buffer positions (default
+	// true via the generator; set NoBranchBuffers to disable).
+	NoBranchBuffers bool
+}
+
+func (o *Opts) fill() {
+	if o.Wire == (Wire{}) {
+		o.Wire = PaperWire()
+	}
+	if o.MaxFanout == 0 {
+		o.MaxFanout = 3
+	}
+	if o.EdgeMin == 0 {
+		o.EdgeMin = 50
+	}
+	if o.EdgeMax == 0 {
+		o.EdgeMax = 800
+	}
+	if o.RATMin == 0 {
+		o.RATMin = 800
+	}
+	if o.RATMax == 0 {
+		o.RATMax = 2000
+	}
+	if o.StemProb == 0 {
+		o.StemProb = 0.3
+	}
+}
+
+// Random builds a random routing-tree topology with exactly o.Sinks sinks.
+// Branch points (and optional degree-1 stem vertices) are buffer positions.
+func Random(o Opts) *tree.Tree {
+	o.fill()
+	if o.Sinks < 1 {
+		panic(fmt.Sprintf("netgen: Sinks %d < 1", o.Sinks))
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	b := tree.NewBuilder()
+
+	edge := func() (float64, float64) {
+		return o.Wire.Edge(o.EdgeMin + rng.Float64()*(o.EdgeMax-o.EdgeMin))
+	}
+	var grow func(parent int, sinks int)
+	grow = func(parent int, sinks int) {
+		// Occasionally lengthen the path with a stem buffer position.
+		for !o.NoStems && rng.Float64() < o.StemProb {
+			r, c := edge()
+			parent = b.AddBufferPos(parent, r, c)
+		}
+		if sinks == 1 {
+			r, c := edge()
+			cap := library.PaperSinkCapMin + rng.Float64()*(library.PaperSinkCapMax-library.PaperSinkCapMin)
+			rat := o.RATMin + rng.Float64()*(o.RATMax-o.RATMin)
+			pol := tree.Positive
+			if rng.Float64() < o.NegativeSinkProb {
+				pol = tree.Negative
+			}
+			b.AddSinkPol(parent, r, c, cap, rat, pol)
+			return
+		}
+		r, c := edge()
+		var v int
+		if o.NoBranchBuffers {
+			v = b.AddInternal(parent, r, c)
+		} else {
+			v = b.AddBufferPos(parent, r, c)
+		}
+		// Split sinks over 2..MaxFanout branches.
+		ways := 2
+		if m := min(o.MaxFanout, sinks); m > 2 {
+			ways = 2 + rng.Intn(m-1)
+		}
+		if ways > sinks {
+			ways = sinks
+		}
+		parts := partition(rng, sinks, ways)
+		for _, p := range parts {
+			grow(v, p)
+		}
+	}
+	grow(0, o.Sinks)
+	return b.MustBuild()
+}
+
+// partition splits total into ways random positive parts.
+func partition(rng *rand.Rand, total, ways int) []int {
+	parts := make([]int, ways)
+	for i := range parts {
+		parts[i] = 1
+	}
+	for i := ways; i < total; i++ {
+		parts[rng.Intn(ways)]++
+	}
+	return parts
+}
+
+// Industrial builds the experiment workload: a random topology with `sinks`
+// sinks whose wires are then segmented so the tree has exactly `positions`
+// buffer positions, mirroring the paper's industrial test cases (e.g.
+// m = 1944 sinks, n = 33133 positions). The base topology contributes no
+// positions of its own — every candidate position comes from wire
+// segmenting, as in Alpert–Devgan — so any positive target is reachable,
+// including n < m (the first point of the paper's Fig. 4).
+func Industrial(sinks, positions int, seed int64) (*tree.Tree, error) {
+	if positions < 1 {
+		return nil, fmt.Errorf("netgen: positions %d < 1", positions)
+	}
+	base := Random(Opts{Sinks: sinks, Seed: seed, NoBranchBuffers: true, NoStems: true})
+	return segment.ToPositions(base, positions)
+}
+
+// RandomSmall builds a net sized for brute-force cross-checking: 1–3 sinks
+// and at most maxPositions buffer positions. The topology and parameters
+// vary with the seed; polarity appears only if negProb > 0.
+func RandomSmall(seed int64, maxPositions int, negProb float64) *tree.Tree {
+	rng := rand.New(rand.NewSource(seed ^ 0x5eed))
+	for attempt := 0; ; attempt++ {
+		t := Random(Opts{
+			Sinks:            1 + rng.Intn(3),
+			Seed:             seed*1000 + int64(attempt),
+			MaxFanout:        2,
+			StemProb:         0.45,
+			NegativeSinkProb: negProb,
+		})
+		if t.NumBufferPositions() <= maxPositions {
+			return t
+		}
+	}
+}

@@ -1,0 +1,202 @@
+package netgen
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"bufferkit/internal/library"
+	"bufferkit/internal/tree"
+)
+
+func TestTwoPinShape(t *testing.T) {
+	tr := TwoPin(1000, 4, 5, 800, PaperWire())
+	if tr.NumSinks() != 1 || tr.NumBufferPositions() != 4 {
+		t.Fatalf("sinks=%d positions=%d", tr.NumSinks(), tr.NumBufferPositions())
+	}
+	if tr.Len() != 6 || tr.Depth() != 5 {
+		t.Fatalf("Len=%d Depth=%d", tr.Len(), tr.Depth())
+	}
+	// Total wire RC equals the full line.
+	wantR, wantC := PaperWire().Edge(1000)
+	gotR, gotC := 0.0, 0.0
+	for i := range tr.Verts {
+		gotR += tr.Verts[i].EdgeR
+		gotC += tr.Verts[i].EdgeC
+	}
+	if ab(gotR-wantR) > 1e-9 || ab(gotC-wantC) > 1e-9 {
+		t.Fatalf("total RC (%g,%g), want (%g,%g)", gotR, gotC, wantR, wantC)
+	}
+	sink := tr.Sinks()[0]
+	if tr.Verts[sink].Cap != 5 || tr.Verts[sink].RAT != 800 {
+		t.Fatalf("sink params %+v", tr.Verts[sink])
+	}
+}
+
+func TestTwoPinZeroPositions(t *testing.T) {
+	tr := TwoPin(500, 0, 2, 100, PaperWire())
+	if tr.Len() != 2 || tr.NumBufferPositions() != 0 {
+		t.Fatalf("unexpected shape: %d vertices", tr.Len())
+	}
+}
+
+func TestBalancedShape(t *testing.T) {
+	tr := Balanced(2, 3, 400, 3, 900, PaperWire())
+	if got, want := tr.NumSinks(), 8; got != want {
+		t.Fatalf("sinks = %d, want %d", got, want)
+	}
+	// Internal junctions: 2 + 4 = 6 (levels 1 and 2).
+	if got, want := tr.NumBufferPositions(), 6; got != want {
+		t.Fatalf("positions = %d, want %d", got, want)
+	}
+	if tr.Depth() != 3 {
+		t.Fatalf("Depth = %d, want 3", tr.Depth())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a := Random(Opts{Sinks: 25, Seed: 42})
+	b := Random(Opts{Sinks: 25, Seed: 42})
+	if !reflect.DeepEqual(a.Verts, b.Verts) {
+		t.Fatal("same seed produced different nets")
+	}
+	c := Random(Opts{Sinks: 25, Seed: 43})
+	if reflect.DeepEqual(a.Verts, c.Verts) {
+		t.Fatal("different seeds produced identical nets")
+	}
+}
+
+func TestRandomSinkCount(t *testing.T) {
+	for _, m := range []int{1, 2, 7, 40, 337} {
+		tr := Random(Opts{Sinks: m, Seed: int64(m)})
+		if tr.NumSinks() != m {
+			t.Fatalf("m=%d: got %d sinks", m, tr.NumSinks())
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("m=%d: %v", m, err)
+		}
+	}
+}
+
+func TestRandomParameterRanges(t *testing.T) {
+	tr := Random(Opts{Sinks: 100, Seed: 7})
+	for _, s := range tr.Sinks() {
+		v := tr.Verts[s]
+		if v.Cap < library.PaperSinkCapMin || v.Cap > library.PaperSinkCapMax {
+			t.Fatalf("sink cap %g outside paper range", v.Cap)
+		}
+		if v.RAT < 800 || v.RAT > 2000 {
+			t.Fatalf("sink RAT %g outside default range", v.RAT)
+		}
+		if v.Pol != tree.Positive {
+			t.Fatal("negative sink without NegativeSinkProb")
+		}
+	}
+}
+
+func TestRandomNegativeSinks(t *testing.T) {
+	tr := Random(Opts{Sinks: 200, Seed: 3, NegativeSinkProb: 0.5})
+	neg := 0
+	for _, s := range tr.Sinks() {
+		if tr.Verts[s].Pol == tree.Negative {
+			neg++
+		}
+	}
+	if neg < 50 || neg > 150 {
+		t.Fatalf("negative sinks = %d of 200, expected near half", neg)
+	}
+}
+
+func TestRandomNoBranchBuffers(t *testing.T) {
+	tr := Random(Opts{Sinks: 30, Seed: 5, NoBranchBuffers: true, StemProb: 1e-9})
+	if tr.NumBufferPositions() != 0 {
+		t.Fatalf("expected no positions, got %d", tr.NumBufferPositions())
+	}
+}
+
+func TestIndustrialReachesTargets(t *testing.T) {
+	for _, target := range []int{1, 30, 900} {
+		tr, err := Industrial(50, target, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.NumSinks() != 50 {
+			t.Fatalf("sinks = %d", tr.NumSinks())
+		}
+		if got := tr.NumBufferPositions(); got != target {
+			t.Fatalf("positions = %d, want %d", got, target)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestIndustrialFewerPositionsThanSinks(t *testing.T) {
+	// The paper's Fig. 4 starts at n = 1943 < m = 1944.
+	tr, err := Industrial(200, 199, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.NumBufferPositions() != 199 {
+		t.Fatalf("positions = %d", tr.NumBufferPositions())
+	}
+}
+
+func TestIndustrialRejectsZeroPositions(t *testing.T) {
+	if _, err := Industrial(10, 0, 1); err == nil {
+		t.Fatal("expected error for zero positions")
+	}
+}
+
+func TestNoStems(t *testing.T) {
+	tr := Random(Opts{Sinks: 40, Seed: 9, NoStems: true, NoBranchBuffers: true})
+	if tr.NumBufferPositions() != 0 {
+		t.Fatalf("positions = %d, want 0", tr.NumBufferPositions())
+	}
+}
+
+func TestRandomSmallRespectsBudget(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		tr := RandomSmall(seed, 5, 0.3)
+		if tr.NumBufferPositions() > 5 {
+			t.Fatalf("seed %d: %d positions", seed, tr.NumBufferPositions())
+		}
+		if tr.NumSinks() < 1 || tr.NumSinks() > 3 {
+			t.Fatalf("seed %d: %d sinks", seed, tr.NumSinks())
+		}
+	}
+}
+
+func TestWireEdge(t *testing.T) {
+	w := Wire{R: 2, C: 3}
+	r, c := w.Edge(10)
+	if r != 20 || c != 30 {
+		t.Fatalf("Edge = (%g, %g)", r, c)
+	}
+	pw := PaperWire()
+	if pw.R != library.PaperWireR || pw.C != library.PaperWireC {
+		t.Fatal("PaperWire constants wrong")
+	}
+}
+
+func TestQuickRandomAlwaysValid(t *testing.T) {
+	f := func(seed int64, m uint8) bool {
+		sinks := int(m)%64 + 1
+		tr := Random(Opts{Sinks: sinks, Seed: seed, NegativeSinkProb: 0.2})
+		return tr.Validate() == nil && tr.NumSinks() == sinks
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ab(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,236 @@
+package netlist
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/netgen"
+	"bufferkit/internal/tree"
+)
+
+const sampleNet = `
+# a small Y net
+net clk_east
+driver res 0.5 k 20
+node n1 parent src res 0.4 cap 12 buffer
+node n2 parent n1 res 0.1 cap 3 buffer allowed 0,2
+node n3 parent n1 res 0 cap 0
+sink s1 parent n2 res 0.2 cap 8 load 14 rat 950
+sink s2 parent n3 res 0.3 cap 9 load 21 rat 1000 neg
+`
+
+func TestParseNetSample(t *testing.T) {
+	net, err := ParseNet(strings.NewReader(sampleNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Name != "clk_east" {
+		t.Fatalf("Name = %q", net.Name)
+	}
+	if net.Driver != (delay.Driver{R: 0.5, K: 20}) {
+		t.Fatalf("Driver = %+v", net.Driver)
+	}
+	tr := net.Tree
+	if tr.Len() != 6 || tr.NumSinks() != 2 || tr.NumBufferPositions() != 2 {
+		t.Fatalf("shape: len=%d sinks=%d pos=%d", tr.Len(), tr.NumSinks(), tr.NumBufferPositions())
+	}
+	if got := tr.Verts[2].Allowed; !reflect.DeepEqual(got, []int{0, 2}) {
+		t.Fatalf("Allowed = %v", got)
+	}
+	s2 := tr.Sinks()[1]
+	if tr.Verts[s2].Pol != tree.Negative || tr.Verts[s2].Cap != 21 || tr.Verts[s2].RAT != 1000 {
+		t.Fatalf("sink s2 = %+v", tr.Verts[s2])
+	}
+	if tr.Verts[3].EdgeR != 0 || tr.Verts[3].EdgeC != 0 {
+		t.Fatalf("zero-RC edge lost: %+v", tr.Verts[3])
+	}
+}
+
+func TestNetWriteParseFixedPoint(t *testing.T) {
+	net, err := ParseNet(strings.NewReader(sampleNet))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf1 bytes.Buffer
+	if err := WriteNet(&buf1, net); err != nil {
+		t.Fatal(err)
+	}
+	net2, err := ParseNet(&buf1)
+	if err != nil {
+		t.Fatalf("reparse: %v", err)
+	}
+	var buf2 bytes.Buffer
+	if err := WriteNet(&buf2, net2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() == "" || buf2.String() != mustWrite(t, net) {
+		t.Fatalf("write∘parse not a fixed point:\n%s\nvs\n%s", mustWrite(t, net), buf2.String())
+	}
+	if !reflect.DeepEqual(net.Tree.Verts, net2.Tree.Verts) {
+		t.Fatal("vertex data changed across round trip")
+	}
+}
+
+func mustWrite(t *testing.T, net *Net) string {
+	t.Helper()
+	var b bytes.Buffer
+	if err := WriteNet(&b, net); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestNetRoundTripRandom(t *testing.T) {
+	f := func(seed int64) bool {
+		tr := netgen.Random(netgen.Opts{Sinks: int(seed%17+17)%17 + 1, Seed: seed, NegativeSinkProb: 0.3})
+		net := &Net{Name: "rnd", Tree: tr, Driver: delay.Driver{R: 0.25, K: 3}}
+		var b bytes.Buffer
+		if WriteNet(&b, net) != nil {
+			return false
+		}
+		got, err := ParseNet(&b)
+		if err != nil {
+			return false
+		}
+		if got.Driver != net.Driver || got.Name != net.Name {
+			return false
+		}
+		// Structure and parameters must survive exactly (names are
+		// canonicalized by the writer, so compare everything else).
+		a, c := tr.Verts, got.Tree.Verts
+		if len(a) != len(c) {
+			return false
+		}
+		for i := range a {
+			x, y := a[i], c[i]
+			x.Name, y.Name = "", ""
+			if x.Allowed == nil {
+				x.Allowed = []int{}
+			}
+			if y.Allowed == nil {
+				y.Allowed = []int{}
+			}
+			if !reflect.DeepEqual(x, y) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseNetErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"unknown directive", "frobnicate x\n", "unknown directive"},
+		{"duplicate vertex", "node a parent src res 1 cap 1\nnode a parent src res 1 cap 1\nsink s parent a res 0 cap 0 load 1 rat 1\n", "duplicate vertex"},
+		{"unknown parent", "node a parent nope res 1 cap 1\n", "unknown parent"},
+		{"missing parent", "node a res 1 cap 1\n", "missing parent"},
+		{"dangling token", "node a parent src res\n", "dangling token"},
+		{"bad float", "node a parent src res abc cap 1\n", "bad res value"},
+		{"sink missing load", "sink s parent src res 0 cap 0 rat 5\n", "missing load"},
+		{"sink missing rat", "sink s parent src res 0 cap 0 load 5\n", "missing rat"},
+		{"buffered sink", "sink s parent src res 0 cap 0 load 5 rat 5 buffer\n", "cannot be a buffer position"},
+		{"neg on node", "node a parent src res 1 cap 1 neg\n", "neg applies to sinks"},
+		{"allowed without buffer", "node a parent src res 1 cap 1 allowed 1\n", "allowed requires buffer"},
+		{"bad allowed", "node a parent src res 1 cap 1 buffer allowed x\n", "bad allowed index"},
+		{"allowed at end", "node a parent src res 1 cap 1 buffer allowed\n", "allowed needs"},
+		{"empty tree", "# nothing\n", "source has no children"},
+		{"leaf internal", "node a parent src res 1 cap 1\n", "is a leaf"},
+		{"duplicate key", "node a parent src res 1 res 2 cap 1\n", "duplicate key"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseNet(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestParseNetReportsLineNumbers(t *testing.T) {
+	_, err := ParseNet(strings.NewReader("net x\n\nbogus y\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("err = %v, want line 3", err)
+	}
+}
+
+const sampleLib = `
+# two types
+buffer buf1 res 7 cin 0.7 delay 29 cost 1
+buffer inv1 res 3.5 cin 1.5 delay 30 cost 2 inverting
+`
+
+func TestParseLibrarySample(t *testing.T) {
+	lib, err := ParseLibrary(strings.NewReader(sampleLib))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := library.Library{
+		{Name: "buf1", R: 7, Cin: 0.7, K: 29, Cost: 1},
+		{Name: "inv1", R: 3.5, Cin: 1.5, K: 30, Cost: 2, Inverting: true},
+	}
+	if !reflect.DeepEqual(lib, want) {
+		t.Fatalf("lib = %+v", lib)
+	}
+}
+
+func TestLibraryRoundTrip(t *testing.T) {
+	for _, lib := range []library.Library{
+		library.Generate(8),
+		library.GenerateWithInverters(16),
+		{{Name: "", R: 1.25, Cin: 2.5, K: 0}},
+	} {
+		var b bytes.Buffer
+		if err := WriteLibrary(&b, lib); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseLibrary(bytes.NewReader(b.Bytes()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(lib) {
+			t.Fatalf("length %d vs %d", len(got), len(lib))
+		}
+		for i := range lib {
+			w := lib[i]
+			if w.Name == "" {
+				w.Name = "b0"
+			}
+			if got[i] != w {
+				t.Fatalf("type %d: %+v vs %+v", i, got[i], w)
+			}
+		}
+	}
+}
+
+func TestParseLibraryErrors(t *testing.T) {
+	cases := []struct {
+		name, in, want string
+	}{
+		{"unknown directive", "net x\n", "unknown directive"},
+		{"missing res", "buffer b cin 1\n", "missing res"},
+		{"missing cin", "buffer b res 1\n", "missing cin"},
+		{"fractional cost", "buffer b res 1 cin 1 cost 1.5\n", "nonnegative integer"},
+		{"invalid electrical", "buffer b res -1 cin 1\n", "driving resistance"},
+		{"empty", "\n", "empty"},
+		{"no name", "buffer\n", "missing buffer name"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLibrary(strings.NewReader(tc.in))
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,41 @@
+// Package testutil holds helpers shared by the algorithm test suites.
+package testutil
+
+import (
+	"math"
+	"testing"
+
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/tree"
+)
+
+// Tol is the slack comparison tolerance in ps. The dynamic programs and the
+// Elmore oracle apply the same formulas with different association, so
+// results agree only up to accumulated rounding (≪ 1e-6 ps on every net in
+// this repository).
+const Tol = 1e-6
+
+// AlmostEqual reports |a−b| ≤ Tol·max(1, |a|, |b|).
+func AlmostEqual(a, b float64) bool {
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= Tol*scale
+}
+
+// CheckPlacement asserts that placement p, evaluated by the exact Elmore
+// oracle, reproduces the claimed slack and violates no polarity, and
+// returns the evaluation.
+func CheckPlacement(t *testing.T, tr *tree.Tree, lib library.Library, p delay.Placement, drv delay.Driver, claimed float64, what string) *delay.Result {
+	t.Helper()
+	r, err := delay.Evaluate(tr, lib, p, drv)
+	if err != nil {
+		t.Fatalf("%s: evaluate: %v", what, err)
+	}
+	if len(r.PolarityViolations) > 0 {
+		t.Fatalf("%s: placement violates polarity at sinks %v", what, r.PolarityViolations)
+	}
+	if !AlmostEqual(r.Slack, claimed) {
+		t.Fatalf("%s: claimed slack %.12g but oracle measures %.12g (Δ=%g)", what, claimed, r.Slack, claimed-r.Slack)
+	}
+	return r
+}

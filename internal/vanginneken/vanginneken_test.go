@@ -1,0 +1,153 @@
+package vanginneken
+
+import (
+	"strings"
+	"testing"
+
+	"bufferkit/internal/bruteforce"
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/netgen"
+	"bufferkit/internal/testutil"
+	"bufferkit/internal/tree"
+)
+
+var buf = library.Buffer{Name: "buf", R: 0.5, Cin: 1, K: 5}
+
+func TestTwoPinAnalytic(t *testing.T) {
+	// src --(1,2)-- v --(2,4)-- sink(3, RAT 100)
+	b := tree.NewBuilder()
+	v := b.AddBufferPos(0, 1, 2)
+	b.AddSink(v, 2, 4, 3, 100)
+	tr := b.MustBuild()
+
+	res, err := Insert(tr, buf, delay.Driver{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Unbuffered root Q = 100 − 2*(4/2+3) − 1*(2/2+7) = 100 − 10 − 8 = 82.
+	// Buffered at v: Q(v) = 90 − 5 − 0.5*7 = 81.5 ; root: 81.5 − 1*(2/2+1) = 79.5.
+	// Unbuffered wins without a driver.
+	if res.Slack != 82 {
+		t.Fatalf("Slack = %g, want 82", res.Slack)
+	}
+	if res.Placement.Count() != 0 {
+		t.Fatalf("expected no buffer, got %v", res.Placement)
+	}
+	testutil.CheckPlacement(t, tr, library.Library{buf}, res.Placement, delay.Driver{}, res.Slack, "vg analytic")
+}
+
+func TestTwoPinDriverFlipsDecision(t *testing.T) {
+	// Same net; a resistive driver makes the low-C buffered candidate win:
+	// unbuffered 82 − 2·9 = 64 ; buffered 79.5 − 2·3 = 73.5.
+	b := tree.NewBuilder()
+	v := b.AddBufferPos(0, 1, 2)
+	b.AddSink(v, 2, 4, 3, 100)
+	tr := b.MustBuild()
+
+	drv := delay.Driver{R: 2}
+	res, err := Insert(tr, buf, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Slack != 73.5 {
+		t.Fatalf("Slack = %g, want 73.5", res.Slack)
+	}
+	if res.Placement[v] != 0 {
+		t.Fatalf("expected buffer at %d, got %v", v, res.Placement)
+	}
+	testutil.CheckPlacement(t, tr, library.Library{buf}, res.Placement, drv, res.Slack, "vg driver")
+}
+
+func TestMatchesBruteForceOnRandomSmallNets(t *testing.T) {
+	lib := library.Library{buf}
+	for seed := int64(0); seed < 60; seed++ {
+		tr := netgen.RandomSmall(seed, 6, 0)
+		drv := delay.Driver{R: 0.3, K: 2}
+		want, err := bruteforce.Best(tr, lib, drv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Insert(tr, buf, drv)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testutil.AlmostEqual(got.Slack, want.Slack) {
+			t.Fatalf("seed %d: vg slack %.12g, brute force %.12g", seed, got.Slack, want.Slack)
+		}
+		testutil.CheckPlacement(t, tr, lib, got.Placement, drv, got.Slack, "vg random")
+	}
+}
+
+func TestListLengthBound(t *testing.T) {
+	// Classic theory: with one buffer type the candidate list never exceeds
+	// n+1 where n is the number of buffer positions.
+	tr := netgen.TwoPin(8000, 40, 10, 1000, netgen.PaperWire())
+	res, err := Insert(tr, buf, delay.Driver{R: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxListLen > tr.NumBufferPositions()+1 {
+		t.Fatalf("MaxListLen = %d > n+1 = %d", res.MaxListLen, tr.NumBufferPositions()+1)
+	}
+	if res.Candidates < 1 {
+		t.Fatal("no candidates at root")
+	}
+}
+
+func TestLongLineWantsManyBuffers(t *testing.T) {
+	tr := netgen.TwoPin(20000, 30, 10, 0, netgen.PaperWire())
+	drv := delay.Driver{R: 0.5}
+	res, err := Insert(tr, buf, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Placement.Count() < 2 {
+		t.Fatalf("expected several buffers on a 2 cm line, got %d", res.Placement.Count())
+	}
+	unbuf, err := delay.Evaluate(tr, library.Library{buf}, delay.NewPlacement(tr.Len()), drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(res.Slack > unbuf.Slack) {
+		t.Fatalf("buffering did not improve slack: %g vs %g", res.Slack, unbuf.Slack)
+	}
+	testutil.CheckPlacement(t, tr, library.Library{buf}, res.Placement, drv, res.Slack, "vg long line")
+}
+
+func TestRejectsInverter(t *testing.T) {
+	tr := netgen.TwoPin(100, 1, 1, 0, netgen.PaperWire())
+	inv := buf
+	inv.Inverting = true
+	if _, err := Insert(tr, inv, delay.Driver{}); err == nil || !strings.Contains(err.Error(), "inverter") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRejectsNegativeSink(t *testing.T) {
+	b := tree.NewBuilder()
+	v := b.AddBufferPos(0, 1, 1)
+	b.AddSinkPol(v, 1, 1, 2, 100, tree.Negative)
+	tr := b.MustBuild()
+	if _, err := Insert(tr, buf, delay.Driver{}); err == nil || !strings.Contains(err.Error(), "polarity") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRejectsRestrictedAwayType(t *testing.T) {
+	b := tree.NewBuilder()
+	v := b.AddBufferPosRestricted(0, 1, 1, []int{3})
+	b.AddSink(v, 1, 1, 2, 100)
+	tr := b.MustBuild()
+	if _, err := Insert(tr, buf, delay.Driver{}); err == nil || !strings.Contains(err.Error(), "restricts away") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestRejectsInvalidBuffer(t *testing.T) {
+	tr := netgen.TwoPin(100, 1, 1, 0, netgen.PaperWire())
+	bad := library.Buffer{R: -1, Cin: 1}
+	if _, err := Insert(tr, bad, delay.Driver{}); err == nil {
+		t.Fatal("accepted invalid buffer")
+	}
+}
