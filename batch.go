@@ -1,0 +1,132 @@
+package bufferkit
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bufferkit/internal/core"
+)
+
+// BatchOptions configure InsertBatch.
+type BatchOptions struct {
+	// Driver is the source driver applied to every net (zero = ideal).
+	Driver Driver
+	// Drivers optionally overrides Driver per net; when non-nil its length
+	// must equal the number of nets.
+	Drivers []Driver
+	// Prune selects the convex pruning mode for every run.
+	Prune PruneMode
+	// Workers caps the number of concurrent worker goroutines; 0 or
+	// negative means runtime.GOMAXPROCS(0).
+	Workers int
+}
+
+// enginePool recycles warm engines (and their arenas) across InsertBatch
+// calls, so a service issuing batch after batch reaches steady state with
+// no per-batch engine construction at all.
+var enginePool = sync.Pool{New: func() any { return core.NewEngine() }}
+
+// BatchError reports every net that failed in an InsertBatch call.
+type BatchError struct {
+	// Errs maps net index to its error; only failed nets appear.
+	Errs map[int]error
+}
+
+// Error implements error, naming the first failed net and the failure
+// count.
+func (e *BatchError) Error() string {
+	first := -1
+	for i := range e.Errs {
+		if first < 0 || i < first {
+			first = i
+		}
+	}
+	return fmt.Sprintf("bufferkit: batch: %d nets failed; first failure at net %d: %v",
+		len(e.Errs), first, e.Errs[first])
+}
+
+// InsertBatch runs the paper's O(bn²) insertion over every net concurrently
+// on a worker pool. Each worker owns one pooled Engine (and therefore one
+// decision arena), so the steady-state hot path allocates nothing no matter
+// how many nets stream through — the batch analogue of holding a warm
+// Engine.
+//
+// Results are positionally aligned with nets and identical to running
+// Insert sequentially on each net (the algorithm is deterministic and
+// workers share nothing). On failure the returned error is a *BatchError
+// naming every failed net; the result slice still carries the successful
+// nets, with nil at failed indices.
+func InsertBatch(nets []*Tree, lib Library, opt BatchOptions) ([]*Result, error) {
+	if opt.Drivers != nil && len(opt.Drivers) != len(nets) {
+		return nil, fmt.Errorf("bufferkit: batch: %d per-net drivers for %d nets", len(opt.Drivers), len(nets))
+	}
+	results := make([]*Result, len(nets))
+	if len(nets) == 0 {
+		return results, nil
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(nets) {
+		workers = len(nets)
+	}
+
+	errs := make([]error, len(nets))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			eng := enginePool.Get().(*core.Engine)
+			defer func() {
+				eng.Release() // don't let pooled engines pin the batch's trees
+				enginePool.Put(eng)
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(nets) {
+					return
+				}
+				o := core.Options{Driver: opt.Driver, Prune: opt.Prune}
+				if opt.Drivers != nil {
+					o.Driver = opt.Drivers[i]
+				}
+				if err := eng.Reset(nets[i], lib, o); err != nil {
+					errs[i] = err
+					continue
+				}
+				res := &Result{}
+				if err := eng.Run(res); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	wg.Wait()
+
+	failed := map[int]error{}
+	for i, err := range errs {
+		if err != nil {
+			failed[i] = err
+		}
+	}
+	if len(failed) > 0 {
+		return results, &BatchError{Errs: failed}
+	}
+	return results, nil
+}
+
+// NewEngine returns a reusable insertion engine for workloads that manage
+// their own concurrency: Reset it at a net, Run it (repeatedly, if
+// useful), and keep it warm — a warm engine allocates nothing on the
+// steady-state path. Engines are not safe for concurrent use.
+func NewEngine() *Engine { return core.NewEngine() }
+
+// Engine is a reusable insertion engine (see internal/core.Engine).
+type Engine = core.Engine

@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"bufferkit"
 	"bufferkit/internal/candidate"
 	"bufferkit/internal/core"
 	"bufferkit/internal/delay"
@@ -206,10 +207,71 @@ func BenchmarkAblationBetaInsert(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				l := candidate.FromPairs(pairs)
 				for j := range betas {
-					l.InsertOne(betas[j].Q, betas[j].C, nil)
+					l.InsertOne(betas[j].Q, betas[j].C, 0)
 				}
 				l.Recycle()
 			}
+		})
+	}
+}
+
+// BenchmarkEngineReuse is the tentpole's headline measurement: the same
+// instance run through the single-shot path (a fresh engine and arena per
+// call, as the seed did on every Insert) versus a warm engine that keeps
+// its arena and scratch across runs. The warm series must show ~0 allocs/op
+// and materially lower ns/op.
+func BenchmarkEngineReuse(b *testing.B) {
+	t := benchNet(b, 337, 5729)
+	for _, size := range []int{8, 32} {
+		lib := library.Generate(size)
+		opt := core.Options{Driver: drv}
+		b.Run(fmt.Sprintf("b%d/coldshot", size), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Insert(t, lib, opt); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("b%d/warm", size), func(b *testing.B) {
+			eng := core.NewEngine()
+			if err := eng.Reset(t, lib, opt); err != nil {
+				b.Fatal(err)
+			}
+			res := &core.Result{}
+			if err := eng.Run(res); err != nil { // warm the arena slabs
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := eng.Run(res); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkInsertBatch measures batch throughput scaling over a 256-net
+// workload: one engine+arena per worker, results identical to sequential
+// runs (asserted by the batch tests). The nets/s metric is the number the
+// acceptance criterion tracks.
+func BenchmarkInsertBatch(b *testing.B) {
+	nets := experiments.BatchWorkload(256) // shared with repro -bench-json
+	lib := library.Generate(16)
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bufferkit.InsertBatch(nets, lib, bufferkit.BatchOptions{
+					Driver:  drv,
+					Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(nets)*b.N)/b.Elapsed().Seconds(), "nets/s")
 		})
 	}
 }

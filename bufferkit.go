@@ -30,6 +30,11 @@
 // and Lillis baselines, wire segmenting, workload generation, netlist I/O,
 // a cost–slack Pareto extension, and library clustering. See DESIGN.md for
 // the system inventory and EXPERIMENTS.md for the reproduction results.
+//
+// For many-net workloads (thousands of nets per design, or the same net
+// under many process corners), InsertBatch runs the algorithm concurrently
+// on a worker pool of warm engines, and NewEngine exposes a reusable
+// zero-steady-state-allocation engine directly — see DESIGN.md §7–§8.
 package bufferkit
 
 import (

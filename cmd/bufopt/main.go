@@ -1,18 +1,25 @@
-// Command bufopt performs optimal buffer insertion on a net file.
+// Command bufopt performs optimal buffer insertion on a net file, or on
+// every net file in a directory.
 //
 // Usage:
 //
 //	bufopt -net design.net [-lib lib.buf | -gen-lib 16] [flags]
+//	bufopt -batch designs/ -gen-lib 16 -j 8
 //
 // The net format is documented in the repository README and in the internal
 // netlist package; see testdata/ for samples. The tool prints the optimal
-// slack, the buffer count and runtime, and optionally the placement.
+// slack, the buffer count and runtime, and optionally the placement. In
+// batch mode every *.net file in the directory is optimized concurrently by
+// bufferkit.InsertBatch on -j workers (default GOMAXPROCS).
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
+	"sort"
 	"time"
 
 	"bufferkit"
@@ -20,7 +27,9 @@ import (
 
 func main() {
 	var (
-		netPath   = flag.String("net", "", "net file (required)")
+		netPath   = flag.String("net", "", "net file (single-net mode)")
+		batchDir  = flag.String("batch", "", "directory of *.net files (batch mode)")
+		jobs      = flag.Int("j", 0, "batch worker count (0 = GOMAXPROCS)")
 		libPath   = flag.String("lib", "", "buffer library file")
 		genLib    = flag.Int("gen-lib", 0, "generate a paper-range library of this size instead of -lib")
 		algo      = flag.String("algo", "new", "algorithm: new (O(bn²)), lillis (O(b²n²)), vg (1 type, O(n²))")
@@ -29,10 +38,51 @@ func main() {
 		verify    = flag.Bool("verify", true, "re-check the result against the exact Elmore oracle")
 	)
 	flag.Parse()
-	if err := run(*netPath, *libPath, *genLib, *algo, *prune, *placement, *verify); err != nil {
+	var err error
+	switch {
+	case *batchDir != "" && *netPath != "":
+		err = fmt.Errorf("-net and -batch are mutually exclusive")
+	case *batchDir != "" && *algo != "new":
+		err = fmt.Errorf("-batch supports only -algo new, got %q", *algo)
+	case *batchDir != "" && *placement:
+		err = fmt.Errorf("-placement is not supported with -batch")
+	case *batchDir != "":
+		err = runBatch(os.Stdout, *batchDir, *libPath, *genLib, *prune, *jobs, *verify)
+	default:
+		err = run(*netPath, *libPath, *genLib, *algo, *prune, *placement, *verify)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bufopt:", err)
 		os.Exit(1)
 	}
+}
+
+// loadLibrary resolves the -lib / -gen-lib flag pair.
+func loadLibrary(libPath string, genLib int) (bufferkit.Library, error) {
+	switch {
+	case libPath != "" && genLib != 0:
+		return nil, fmt.Errorf("-lib and -gen-lib are mutually exclusive")
+	case libPath != "":
+		lf, err := os.Open(libPath)
+		if err != nil {
+			return nil, err
+		}
+		defer lf.Close()
+		return bufferkit.ParseLibrary(lf)
+	case genLib > 0:
+		return bufferkit.GenerateLibrary(genLib), nil
+	}
+	return nil, fmt.Errorf("provide -lib <file> or -gen-lib <size>")
+}
+
+func parsePrune(prune string) (bufferkit.PruneMode, error) {
+	switch prune {
+	case "transient":
+		return bufferkit.PruneTransient, nil
+	case "destructive":
+		return bufferkit.PruneDestructive, nil
+	}
+	return 0, fmt.Errorf("unknown -prune %q", prune)
 }
 
 func run(netPath, libPath string, genLib int, algo, prune string, placement, verify bool) error {
@@ -49,23 +99,9 @@ func run(netPath, libPath string, genLib int, algo, prune string, placement, ver
 		return err
 	}
 
-	var lib bufferkit.Library
-	switch {
-	case libPath != "" && genLib != 0:
-		return fmt.Errorf("-lib and -gen-lib are mutually exclusive")
-	case libPath != "":
-		lf, err := os.Open(libPath)
-		if err != nil {
-			return err
-		}
-		defer lf.Close()
-		if lib, err = bufferkit.ParseLibrary(lf); err != nil {
-			return err
-		}
-	case genLib > 0:
-		lib = bufferkit.GenerateLibrary(genLib)
-	default:
-		return fmt.Errorf("provide -lib <file> or -gen-lib <size>")
+	lib, err := loadLibrary(libPath, genLib)
+	if err != nil {
+		return err
 	}
 
 	t := net.Tree
@@ -80,13 +116,8 @@ func run(netPath, libPath string, genLib int, algo, prune string, placement, ver
 	switch algo {
 	case "new":
 		opt := bufferkit.Options{Driver: net.Driver}
-		switch prune {
-		case "transient":
-			opt.Prune = bufferkit.PruneTransient
-		case "destructive":
-			opt.Prune = bufferkit.PruneDestructive
-		default:
-			return fmt.Errorf("unknown -prune %q", prune)
+		if opt.Prune, err = parsePrune(prune); err != nil {
+			return err
 		}
 		res, err := bufferkit.Insert(t, lib, opt)
 		if err != nil {
@@ -125,15 +156,9 @@ func run(netPath, libPath string, genLib int, algo, prune string, placement, ver
 	fmt.Printf("buffers: %d   cost: %d   runtime: %s\n", plc.Count(), plc.Cost(lib), elapsed)
 
 	if verify {
-		chk, err := bufferkit.Evaluate(t, lib, plc, net.Driver)
+		chk, err := verifyPlacement(t, lib, plc, slack, net.Driver)
 		if err != nil {
-			return fmt.Errorf("verification failed: %w", err)
-		}
-		if d := chk.Slack - slack; d > 1e-6 || d < -1e-6 {
-			return fmt.Errorf("verification failed: oracle slack %.6f != reported %.6f", chk.Slack, slack)
-		}
-		if len(chk.PolarityViolations) > 0 {
-			return fmt.Errorf("verification failed: polarity violations at %v", chk.PolarityViolations)
+			return err
 		}
 		path := chk.CriticalPath(t)
 		fmt.Printf("verified: placement reproduces the reported slack under the Elmore oracle\n")
@@ -153,6 +178,104 @@ func run(netPath, libPath string, genLib int, algo, prune string, placement, ver
 		}
 	}
 	return nil
+}
+
+// runBatch optimizes every *.net file in dir concurrently via
+// bufferkit.InsertBatch, printing one summary line per net plus totals.
+func runBatch(w io.Writer, dir, libPath string, genLib int, prune string, jobs int, verify bool) error {
+	lib, err := loadLibrary(libPath, genLib)
+	if err != nil {
+		return err
+	}
+	mode, err := parsePrune(prune)
+	if err != nil {
+		return err
+	}
+	paths, err := filepath.Glob(filepath.Join(dir, "*.net"))
+	if err != nil {
+		return err
+	}
+	sort.Strings(paths)
+	if len(paths) == 0 {
+		return fmt.Errorf("no *.net files in %q", dir)
+	}
+
+	nets := make([]*bufferkit.Net, len(paths))
+	trees := make([]*bufferkit.Tree, len(paths))
+	drivers := make([]bufferkit.Driver, len(paths))
+	for i, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return err
+		}
+		nets[i], err = bufferkit.ParseNet(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", p, err)
+		}
+		trees[i] = nets[i].Tree
+		drivers[i] = nets[i].Driver
+	}
+
+	start := time.Now()
+	results, batchErr := bufferkit.InsertBatch(trees, lib, bufferkit.BatchOptions{
+		Drivers: drivers,
+		Prune:   mode,
+		Workers: jobs,
+	})
+	elapsed := time.Since(start)
+
+	insertErrs := map[int]error{}
+	if be, ok := batchErr.(*bufferkit.BatchError); ok {
+		insertErrs = be.Errs
+	} else if batchErr != nil {
+		return batchErr
+	}
+
+	buffers := 0
+	done := 0
+	failed := 0
+	for i, res := range results {
+		name := orDefault(nets[i].Name, paths[i])
+		if res == nil {
+			fmt.Fprintf(w, "%-24s FAILED: %v\n", name, insertErrs[i])
+			failed++
+			continue
+		}
+		if verify {
+			if _, err := verifyPlacement(trees[i], lib, res.Placement, res.Slack, drivers[i]); err != nil {
+				fmt.Fprintf(w, "%-24s FAILED: %v\n", name, err)
+				failed++
+				continue
+			}
+		}
+		fmt.Fprintf(w, "%-24s slack %12.4f ps   buffers %5d   candidates %5d\n",
+			name, res.Slack, res.Placement.Count(), res.Candidates)
+		buffers += res.Placement.Count()
+		done++
+	}
+	fmt.Fprintf(w, "batch: %d/%d nets, %d buffers, %s total (%.2f nets/s)\n",
+		done, len(paths), buffers, elapsed, float64(done)/elapsed.Seconds())
+	if failed > 0 {
+		return fmt.Errorf("%d of %d nets failed", failed, len(paths))
+	}
+	return nil
+}
+
+// verifyPlacement re-checks a reported placement and slack against the
+// exact Elmore oracle, returning the oracle's timing on success.
+func verifyPlacement(t *bufferkit.Tree, lib bufferkit.Library, plc bufferkit.Placement, slack float64, drv bufferkit.Driver) (*bufferkit.TimingResult, error) {
+	chk, err := bufferkit.Evaluate(t, lib, plc, drv)
+	if err != nil {
+		return nil, fmt.Errorf("verification failed: %w", err)
+	}
+	if d := chk.Slack - slack; d > 1e-6 || d < -1e-6 {
+		return nil, fmt.Errorf("verification failed: oracle slack %.6f != reported %.6f", chk.Slack, slack)
+	}
+	if len(chk.PolarityViolations) > 0 {
+		return nil, fmt.Errorf("verification failed: polarity violations at %v", chk.PolarityViolations)
+	}
+	return chk, nil
 }
 
 func orDefault(s, def string) string {

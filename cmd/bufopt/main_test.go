@@ -7,6 +7,40 @@ import (
 
 const testdata = "../../testdata/"
 
+func TestRunBatchDirectory(t *testing.T) {
+	var out strings.Builder
+	if err := runBatch(&out, testdata, "", 8, "transient", 2, true); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"line", "random12", "batch: 2/2 nets"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("batch output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunBatchErrors(t *testing.T) {
+	var out strings.Builder
+	cases := []struct {
+		name string
+		err  string
+		f    func() error
+	}{
+		{"empty dir", "no *.net files", func() error { return runBatch(&out, "..", "", 8, "transient", 0, false) }},
+		{"bad prune", "unknown -prune", func() error { return runBatch(&out, testdata, "", 8, "nope", 0, false) }},
+		{"no library", "provide -lib", func() error { return runBatch(&out, testdata, "", 0, "transient", 0, false) }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.f()
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Fatalf("err = %v, want substring %q", err, tc.err)
+			}
+		})
+	}
+}
+
 func TestRunNewAlgorithm(t *testing.T) {
 	if err := run(testdata+"random12.net", testdata+"lib8.buf", 0, "new", "transient", true, true); err != nil {
 		t.Fatal(err)

@@ -8,6 +8,7 @@
 //	repro -exp all               # full paper scale, takes a minute or two
 //	repro -exp fig3 -scale 4     # quarter-scale quick look
 //	repro -exp table1 -csv
+//	repro -bench-json BENCH_engine.json -scale 4
 package main
 
 import (
@@ -21,11 +22,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "experiment: table1, fig3, fig4, libreduce, listlen, all")
-		scale = flag.Int("scale", 1, "divide the paper's m and n by this factor (1 = full scale)")
-		reps  = flag.Int("reps", 2, "timing repetitions per measurement (fastest wins)")
-		seed  = flag.Int64("seed", 1, "workload seed")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		exp       = flag.String("exp", "all", "experiment: table1, fig3, fig4, libreduce, listlen, all")
+		scale     = flag.Int("scale", 1, "divide the paper's m and n by this factor (1 = full scale)")
+		reps      = flag.Int("reps", 2, "timing repetitions per measurement (fastest wins)")
+		seed      = flag.Int64("seed", 1, "workload seed")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
+		benchJSON = flag.String("bench-json", "", "run the engine/batch benchmarks and write them as JSON to this file ('-' for stdout), instead of -exp")
 	)
 	flag.Parse()
 
@@ -34,6 +36,23 @@ func main() {
 	debug.SetGCPercent(400)
 
 	cfg := experiments.Config{Scale: *scale, Reps: *reps, Seed: *seed, Out: os.Stdout, CSV: *csv}
+	if *benchJSON != "" {
+		out := os.Stdout
+		if *benchJSON != "-" {
+			f, err := os.Create(*benchJSON)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "repro:", err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			out = f
+		}
+		if err := experiments.BenchJSON(cfg, out); err != nil {
+			fmt.Fprintln(os.Stderr, "repro:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	fns := map[string]func(experiments.Config) error{
 		"table1":    experiments.Table1,
 		"fig3":      experiments.Fig3,

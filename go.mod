@@ -1,0 +1,3 @@
+module bufferkit
+
+go 1.24

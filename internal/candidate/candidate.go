@@ -12,6 +12,13 @@
 // insert), and convex pruning — Graham's scan over the C-sorted list —
 // which is the paper's key device: for every driving resistance R ≥ 0 the
 // maximizer of Q − R·C lies on the concave majorant of the (C, Q) points.
+//
+// Allocation model: reconstruction decisions are index-linked records in a
+// per-run Arena (see arena.go) rather than individually heap-allocated
+// nodes, and arena-backed lists draw their nodes and headers from the same
+// arena, so the whole run's memory releases in O(1) and a warm arena
+// allocates nothing. Lists created without an arena (FromPairs, tests)
+// still recycle nodes through a package-level sync.Pool.
 package candidate
 
 import (
@@ -32,50 +39,21 @@ const (
 	DecMerge
 )
 
-// Decision is an immutable node in the reconstruction DAG. Wire operations
-// do not change placements, so they create no decisions; each candidate
-// simply carries its decision pointer through.
+// Decision is the read-only view of one reconstruction record, obtained
+// from an Arena via Arena.Decision. Wire operations do not change
+// placements, so they create no decisions; each candidate simply carries
+// its decision reference through.
 type Decision struct {
 	Kind   DecisionKind
 	Vertex int // sink vertex (DecSink) or buffer position (DecBuffer)
 	Buffer int // library type index (DecBuffer only)
-	A, B   *Decision
-}
-
-// Fill walks the decision lineage and records every inserted buffer into p,
-// where p[v] is a library type index or -1. The walk is iterative so
-// lineages tens of thousands of decisions deep (long 2-pin chains) are safe.
-func (d *Decision) Fill(p []int) {
-	if d == nil {
-		return
-	}
-	stack := []*Decision{d}
-	for len(stack) > 0 {
-		cur := stack[len(stack)-1]
-		stack = stack[:len(stack)-1]
-		switch cur.Kind {
-		case DecSink:
-			// nothing to record
-		case DecBuffer:
-			p[cur.Vertex] = cur.Buffer
-			if cur.A != nil {
-				stack = append(stack, cur.A)
-			}
-		case DecMerge:
-			if cur.A != nil {
-				stack = append(stack, cur.A)
-			}
-			if cur.B != nil {
-				stack = append(stack, cur.B)
-			}
-		}
-	}
+	A, B   DecRef
 }
 
 // Node is one nonredundant candidate in a List.
 type Node struct {
 	Q, C float64
-	Dec  *Decision
+	Dec  DecRef
 
 	prev, next *Node
 }
@@ -86,46 +64,72 @@ func (n *Node) Next() *Node { return n.next }
 // Prev returns the predecessor candidate (smaller Q and C), or nil.
 func (n *Node) Prev() *Node { return n.prev }
 
-// nodePool recycles Nodes. The candidate machinery churns through nodes at
-// a high rate — every buffer position inserts up to b candidates and prunes
-// about as many — and letting them all reach the garbage collector costs
-// more than the algorithm itself on paper-scale nets. Decisions are never
-// pooled: they are immutable and may outlive any list.
+// nodePool recycles nodes of arena-less lists. The candidate machinery
+// churns through nodes at a high rate — every buffer position inserts up to
+// b candidates and prunes about as many — and letting them all reach the
+// garbage collector costs more than the algorithm itself on paper-scale
+// nets. Arena-backed lists bypass this pool entirely: their nodes come from
+// and return to the arena's slabs.
 var nodePool = sync.Pool{New: func() any { return new(Node) }}
 
-func newNode(q, c float64, dec *Decision) *Node {
+// newNode allocates a node for this list: from the list's arena when it has
+// one, from the package pool otherwise.
+func (l *List) newNode(q, c float64, dec DecRef) *Node {
+	if l.ar != nil {
+		return l.ar.newNode(q, c, dec)
+	}
 	nd := nodePool.Get().(*Node)
 	nd.Q, nd.C, nd.Dec = q, c, dec
 	nd.prev, nd.next = nil, nil
 	return nd
 }
 
-// Recycle returns every node of the list to the allocation pool and empties
-// it. The caller must not use the list, its nodes, or node pointers taken
-// from it afterwards. Reconstruction decisions are unaffected.
+// putNode returns a node to its allocator.
+func (l *List) putNode(nd *Node) {
+	nd.Dec, nd.prev, nd.next = 0, nil, nil
+	if l.ar != nil {
+		l.ar.putNode(nd)
+		return
+	}
+	nodePool.Put(nd)
+}
+
+// Recycle returns every node of the list to its allocator and empties it.
+// The caller must drop every node pointer taken from the list, but may keep
+// using the (now empty) list itself. Reconstruction decisions are
+// unaffected.
 func (l *List) Recycle() {
 	for nd := l.front; nd != nil; {
 		next := nd.next
-		nd.Dec, nd.prev, nd.next = nil, nil, nil
-		nodePool.Put(nd)
+		l.putNode(nd)
 		nd = next
 	}
 	l.front, l.back, l.n = nil, nil, 0
 }
 
+// Free is Recycle plus returning the list header itself to its arena, for
+// lists obtained from Arena.NewList that are fully consumed (e.g. merge
+// inputs). The caller must not use the list afterwards. Arena-less lists
+// just recycle their nodes.
+func (l *List) Free() {
+	l.Recycle()
+	if l.ar != nil {
+		l.ar.freeList = append(l.ar.freeList, l)
+	}
+}
+
 // List is a doubly-linked list of candidates, strictly increasing in both
-// Q and C from front to back. The zero value is an empty list.
+// Q and C from front to back. The zero value is an empty list that
+// allocates from the package node pool; lists from Arena.NewList allocate
+// from their arena.
 type List struct {
 	front, back *Node
 	n           int
+	ar          *Arena
 }
 
-// NewSink returns a single-candidate list for a sink with RAT q and load c.
-func NewSink(q, c float64, vertex int) *List {
-	l := &List{}
-	l.pushBack(newNode(q, c, &Decision{Kind: DecSink, Vertex: vertex}))
-	return l
-}
+// Arena returns the arena backing this list, or nil.
+func (l *List) Arena() *Arena { return l.ar }
 
 // Len returns the number of candidates.
 func (l *List) Len() int { return l.n }
@@ -162,8 +166,7 @@ func (l *List) remove(nd *Node) *Node {
 	} else {
 		l.back = nd.prev
 	}
-	nd.Dec, nd.prev, nd.next = nil, nil, nil
-	nodePool.Put(nd)
+	l.putNode(nd)
 	l.n--
 	return next
 }
@@ -234,9 +237,20 @@ func WireDelay(r, c, cdown float64) float64 { return r * (c/2 + cdown) }
 // with Q at least the target, so a two-pointer sweep over the Q-sorted lists
 // emits all nonredundant joint candidates in O(len(a) + len(b)).
 // The inputs are consumed (their nodes are not reused, but the lists should
-// be discarded).
+// be discarded — Free them when arena-backed). The output allocates from
+// the first input's arena (or the second's, if the first has none); with no
+// arena, merge decisions are not recorded.
 func Merge(a, b *List) *List {
-	out := &List{}
+	ar := a.ar
+	if ar == nil {
+		ar = b.ar
+	}
+	var out *List
+	if ar != nil {
+		out = ar.NewList()
+	} else {
+		out = &List{}
+	}
 	x, y := a.front, b.front
 	for x != nil && y != nil {
 		q := x.Q
@@ -244,14 +258,17 @@ func Merge(a, b *List) *List {
 			q = y.Q
 		}
 		c := x.C + y.C
-		dec := &Decision{Kind: DecMerge, A: x.Dec, B: y.Dec}
+		var dec DecRef
+		if ar != nil {
+			dec = ar.MergeDec(x.Dec, y.Dec)
+		}
 		if out.back != nil && out.back.C == c {
 			// Same capacitance, strictly larger Q (q increases every
 			// iteration): the new candidate dominates the previous one.
 			out.back.Q = q
 			out.back.Dec = dec
 		} else {
-			out.pushBack(newNode(q, c, dec))
+			out.pushBack(out.newNode(q, c, dec))
 		}
 		if x.Q == q {
 			x = x.next
@@ -267,7 +284,7 @@ func Merge(a, b *List) *List {
 // nonredundancy, by linear scan — the O(k) per-candidate insertion the
 // Lillis–Cheng–Lin baseline performs b times per buffer position. It
 // reports whether the candidate survived (was not dominated).
-func (l *List) InsertOne(q, c float64, dec *Decision) bool {
+func (l *List) InsertOne(q, c float64, dec DecRef) bool {
 	// Find the last node with C < c (pred) while checking domination by any
 	// node with C ≤ c.
 	var pred *Node
@@ -282,7 +299,7 @@ func (l *List) InsertOne(q, c float64, dec *Decision) bool {
 	if nd != nil && nd.C == c && nd.Q >= q {
 		return false
 	}
-	nn := newNode(q, c, dec)
+	nn := l.newNode(q, c, dec)
 	l.insertAfter(pred, nn)
 	// Remove following candidates dominated by the new one (C ≥ c, Q ≤ q).
 	for nd := nn.next; nd != nil && nd.Q <= q; {
@@ -295,23 +312,22 @@ func (l *List) InsertOne(q, c float64, dec *Decision) bool {
 // library type Buffer at Vertex yields slack Q and presents capacitance C
 // upstream. Its reconstruction decision is created lazily: callers either
 // set Dec directly, or set SrcDec (the decision of the unbuffered candidate
-// the buffer was applied to) and let MergeBetas materialize the Decision
-// only if the beta survives insertion — most betas are dominated
-// immediately, and skipping their allocations is a measurable win in the
-// O(n) inner loop.
+// the buffer was applied to) and let MergeBetas materialize the record only
+// if the beta survives insertion — most betas are dominated immediately,
+// and skipping their records is a measurable win in the O(n) inner loop.
 type Beta struct {
 	Q, C   float64
 	Buffer int
 	Vertex int
-	SrcDec *Decision
-	Dec    *Decision
+	SrcDec DecRef
+	Dec    DecRef
 }
 
-// decision returns the beta's reconstruction node, materializing it on
-// first use.
-func (b *Beta) decision() *Decision {
-	if b.Dec == nil {
-		b.Dec = &Decision{Kind: DecBuffer, Vertex: b.Vertex, Buffer: b.Buffer, A: b.SrcDec}
+// decision returns the beta's reconstruction record, materializing it in ar
+// on first use. With no arena the nil reference is carried through.
+func (b *Beta) decision(ar *Arena) DecRef {
+	if b.Dec == 0 && ar != nil {
+		b.Dec = ar.BufferDec(b.Vertex, b.Buffer, b.SrcDec)
 	}
 	return b.Dec
 }
@@ -351,7 +367,8 @@ func NormalizeBetas(betas []Beta) []Beta {
 func (l *List) MergeBetas(betas []Beta) {
 	var pred *Node // last kept node with C < current beta's C
 	nd := l.front
-	for _, b := range betas {
+	for i := range betas {
+		b := &betas[i]
 		for nd != nil && nd.C < b.C {
 			pred = nd
 			nd = nd.next
@@ -362,7 +379,7 @@ func (l *List) MergeBetas(betas []Beta) {
 		if nd != nil && nd.C == b.C && nd.Q >= b.Q {
 			continue
 		}
-		nn := newNode(b.Q, b.C, b.decision())
+		nn := l.newNode(b.Q, b.C, b.decision(l.ar))
 		l.insertAfter(pred, nn)
 		// Drop list nodes the beta dominates.
 		for nxt := nn.next; nxt != nil && nxt.Q <= b.Q; {
@@ -403,14 +420,7 @@ func leftTurn(a, b, c *Node) bool {
 // the list. Graham's scan over the already C-sorted list runs in O(k).
 // Every maximizer of Q − r·C for any r ≥ 0 is on the hull (paper Lemma 3).
 func (l *List) HullView() []*Node {
-	hull := make([]*Node, 0, l.n)
-	for nd := l.front; nd != nil; nd = nd.next {
-		for len(hull) >= 2 && !leftTurn(hull[len(hull)-2], hull[len(hull)-1], nd) {
-			hull = hull[:len(hull)-1]
-		}
-		hull = append(hull, nd)
-	}
-	return hull
+	return l.HullViewInto(make([]*Node, 0, l.n))
 }
 
 // HullViewInto is HullView reusing the caller's buffer to avoid per-call
@@ -475,15 +485,15 @@ func (l *List) Pairs() []Pair {
 	return out
 }
 
-// FromPairs builds a list from pairs that must already be strictly
-// increasing in Q and C (panics otherwise); primarily for tests.
+// FromPairs builds an arena-less list from pairs that must already be
+// strictly increasing in Q and C (panics otherwise); primarily for tests.
 func FromPairs(ps []Pair) *List {
 	l := &List{}
 	for _, p := range ps {
 		if l.back != nil && (p.Q <= l.back.Q || p.C <= l.back.C) {
 			panic(fmt.Sprintf("candidate: FromPairs input not strictly increasing at (%g,%g)", p.Q, p.C))
 		}
-		l.pushBack(newNode(p.Q, p.C, nil))
+		l.pushBack(l.newNode(p.Q, p.C, 0))
 	}
 	return l
 }

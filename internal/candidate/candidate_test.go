@@ -55,7 +55,8 @@ func pairsEqual(t *testing.T, got, want []Pair, what string) {
 }
 
 func TestNewSink(t *testing.T) {
-	l := NewSink(120, 3.5, 7)
+	ar := NewArena()
+	l := ar.NewSink(120, 3.5, 7)
 	if l.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", l.Len())
 	}
@@ -63,8 +64,8 @@ func TestNewSink(t *testing.T) {
 	if nd.Q != 120 || nd.C != 3.5 {
 		t.Fatalf("candidate = (%g, %g), want (120, 3.5)", nd.Q, nd.C)
 	}
-	if nd.Dec == nil || nd.Dec.Kind != DecSink || nd.Dec.Vertex != 7 {
-		t.Fatalf("decision = %+v, want sink at vertex 7", nd.Dec)
+	if dec := ar.Decision(nd.Dec); nd.Dec == 0 || dec.Kind != DecSink || dec.Vertex != 7 {
+		t.Fatalf("decision = %+v, want sink at vertex 7", dec)
 	}
 	if err := l.Validate(); err != nil {
 		t.Fatal(err)
@@ -72,7 +73,7 @@ func TestNewSink(t *testing.T) {
 }
 
 func TestAddWireSimple(t *testing.T) {
-	l := NewSink(100, 10, 1)
+	l := NewArena().NewSink(100, 10, 1)
 	l.AddWire(2, 4) // delay = 2*(4/2 + 10) = 24
 	nd := l.Front()
 	if nd.Q != 76 || nd.C != 14 {
@@ -151,18 +152,19 @@ func TestMergeProperty(t *testing.T) {
 }
 
 func TestMergeDecisionsReferenceBothBranches(t *testing.T) {
-	a := NewSink(50, 1, 3)
-	b := NewSink(60, 2, 4)
+	ar := NewArena()
+	a := ar.NewSink(50, 1, 3)
+	b := ar.NewSink(60, 2, 4)
 	m := Merge(a, b)
 	if m.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", m.Len())
 	}
-	dec := m.Front().Dec
-	if dec.Kind != DecMerge || dec.A == nil || dec.B == nil {
+	dec := ar.Decision(m.Front().Dec)
+	if dec.Kind != DecMerge || dec.A == 0 || dec.B == 0 {
 		t.Fatalf("decision %+v does not join two branches", dec)
 	}
 	p := []int{-1, -1, -1, -1, -1}
-	dec.Fill(p)
+	ar.Fill(m.Front().Dec, p)
 	for i, v := range p {
 		if v != -1 {
 			t.Fatalf("p[%d] = %d, want no buffers", i, v)
@@ -191,7 +193,7 @@ func TestInsertOneCases(t *testing.T) {
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
 			l := FromPairs(base)
-			ok := l.InsertOne(tc.q, tc.c, nil)
+			ok := l.InsertOne(tc.q, tc.c, 0)
 			if ok != tc.ok {
 				t.Fatalf("InsertOne returned %v, want %v", ok, tc.ok)
 			}
@@ -210,7 +212,7 @@ func TestInsertOneProperty(t *testing.T) {
 		before := l.Pairs()
 		q := rng.Float64()*400 - 300
 		c := rng.Float64() * 400
-		l.InsertOne(q, c, nil)
+		l.InsertOne(q, c, 0)
 		if err := l.Validate(); err != nil {
 			t.Fatalf("iter %d: %v", iter, err)
 		}
@@ -415,21 +417,57 @@ func TestDestructivePruningCounterexample(t *testing.T) {
 }
 
 func TestDecisionFillDeepChain(t *testing.T) {
-	// A 200k-deep buffer chain must not overflow the stack.
+	// A 200k-deep buffer chain must not overflow the stack, and must span
+	// many arena slabs.
 	const depth = 200_000
-	dec := &Decision{Kind: DecSink, Vertex: 0}
+	ar := NewArena()
+	dec := ar.SinkDec(0)
 	for i := 1; i <= depth; i++ {
-		dec = &Decision{Kind: DecBuffer, Vertex: i, Buffer: i % 3, A: dec}
+		dec = ar.BufferDec(i, i%3, dec)
 	}
 	p := make([]int, depth+1)
 	for i := range p {
 		p[i] = -1
 	}
-	dec.Fill(p)
+	ar.Fill(dec, p)
 	for i := 1; i <= depth; i++ {
 		if p[i] != i%3 {
 			t.Fatalf("p[%d] = %d, want %d", i, p[i], i%3)
 		}
+	}
+}
+
+// TestArenaResetReleasesAndReuses: after Reset the arena hands out the same
+// slab memory again, and a warm arena performs a whole build-merge-fill
+// cycle without allocating.
+func TestArenaResetReleasesAndReuses(t *testing.T) {
+	ar := NewArena()
+	betas := make([]Beta, 1)
+	p := make([]int, 3)
+	run := func() float64 {
+		ar.Reset()
+		a := ar.NewSink(50, 1, 1)
+		b := ar.NewSink(60, 2, 2)
+		m := Merge(a, b)
+		a.Free()
+		b.Free()
+		betas[0] = Beta{Q: 100, C: 0.5, Buffer: 1, Vertex: 0, SrcDec: m.Front().Dec}
+		m.MergeBetas(betas)
+		p[0], p[1], p[2] = -1, -1, -1
+		ar.Fill(m.Front().Dec, p)
+		if p[0] != 1 {
+			t.Fatalf("fill lost the buffer decision: %v", p)
+		}
+		return m.Front().Q
+	}
+	want := run()
+	allocs := testing.AllocsPerRun(100, func() {
+		if got := run(); got != want {
+			t.Fatalf("warm run diverged: %g != %g", got, want)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("warm arena cycle allocates %.1f times per run, want 0", allocs)
 	}
 }
 
@@ -481,7 +519,7 @@ func TestQuickNonredundantClosure(t *testing.T) {
 		if l.Validate() != nil {
 			return false
 		}
-		l.InsertOne(float64(c), float64(r), nil)
+		l.InsertOne(float64(c), float64(r), 0)
 		return l.Validate() == nil
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
@@ -519,7 +557,7 @@ func TestRecycleEmptiesList(t *testing.T) {
 		t.Fatal(err)
 	}
 	// The list is reusable after recycling.
-	if !l.InsertOne(5, 5, nil) {
+	if !l.InsertOne(5, 5, 0) {
 		t.Fatal("insert into recycled list failed")
 	}
 	if l.Len() != 1 {
@@ -527,23 +565,24 @@ func TestRecycleEmptiesList(t *testing.T) {
 	}
 }
 
-// TestPoolReuseDoesNotAliasDecisions guards the node pool against the
+// TestPoolReuseDoesNotAliasDecisions guards node recycling against the
 // lineage-corruption hazard documented on Beta: decisions read from removed
-// nodes must stay valid because betas capture SrcDec (the decision), never
-// the node.
+// nodes must stay valid because betas capture SrcDec (the decision
+// reference), never the node.
 func TestPoolReuseDoesNotAliasDecisions(t *testing.T) {
-	l := NewSink(10, 1, 7)
+	ar := NewArena()
+	l := ar.NewSink(10, 1, 7)
 	src := l.Front().Dec
 	betas := []Beta{{Q: 20, C: 0.5, Buffer: 2, Vertex: 3, SrcDec: src}}
 	l.MergeBetas(betas) // dominates and removes the sink candidate
 	if l.Len() != 1 {
 		t.Fatalf("Len = %d, want 1", l.Len())
 	}
-	dec := l.Front().Dec
-	if dec == nil || dec.Kind != DecBuffer || dec.Vertex != 3 || dec.Buffer != 2 {
+	dec := ar.Decision(l.Front().Dec)
+	if l.Front().Dec == 0 || dec.Kind != DecBuffer || dec.Vertex != 3 || dec.Buffer != 2 {
 		t.Fatalf("decision corrupted: %+v", dec)
 	}
-	if dec.A != src || dec.A.Kind != DecSink || dec.A.Vertex != 7 {
-		t.Fatalf("lineage corrupted: %+v", dec.A)
+	if a := ar.Decision(dec.A); dec.A != src || a.Kind != DecSink || a.Vertex != 7 {
+		t.Fatalf("lineage corrupted: %+v", a)
 	}
 }

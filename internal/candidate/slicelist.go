@@ -10,20 +10,24 @@ package candidate
 // Operations mirror List exactly; property tests assert the two agree.
 type SliceList struct {
 	cands []Pair
-	decs  []*Decision
+	decs  []DecRef
+	ar    *Arena
 }
 
-// NewSliceSink returns a single-candidate slice list for a sink.
-func NewSliceSink(q, c float64, vertex int) *SliceList {
+// NewSliceSink returns a single-candidate slice list for a sink, recording
+// its decision in ar.
+func NewSliceSink(ar *Arena, q, c float64, vertex int) *SliceList {
 	return &SliceList{
 		cands: []Pair{{q, c}},
-		decs:  []*Decision{{Kind: DecSink, Vertex: vertex}},
+		decs:  []DecRef{ar.SinkDec(vertex)},
+		ar:    ar,
 	}
 }
 
-// SliceFromPairs builds a SliceList from strictly increasing pairs.
+// SliceFromPairs builds an arena-less SliceList from strictly increasing
+// pairs.
 func SliceFromPairs(ps []Pair) *SliceList {
-	s := &SliceList{cands: append([]Pair(nil), ps...), decs: make([]*Decision, len(ps))}
+	s := &SliceList{cands: append([]Pair(nil), ps...), decs: make([]DecRef, len(ps))}
 	for i := 1; i < len(ps); i++ {
 		if ps[i].Q <= ps[i-1].Q || ps[i].C <= ps[i-1].C {
 			panic("candidate: SliceFromPairs input not strictly increasing")
@@ -60,9 +64,14 @@ func (s *SliceList) AddWire(r, c float64) {
 
 // MergeSlice mirrors Merge for slice lists.
 func MergeSlice(a, b *SliceList) *SliceList {
+	ar := a.ar
+	if ar == nil {
+		ar = b.ar
+	}
 	out := &SliceList{
 		cands: make([]Pair, 0, len(a.cands)+len(b.cands)),
-		decs:  make([]*Decision, 0, len(a.cands)+len(b.cands)),
+		decs:  make([]DecRef, 0, len(a.cands)+len(b.cands)),
+		ar:    ar,
 	}
 	i, j := 0, 0
 	for i < len(a.cands) && j < len(b.cands) {
@@ -71,7 +80,10 @@ func MergeSlice(a, b *SliceList) *SliceList {
 			q = b.cands[j].Q
 		}
 		c := a.cands[i].C + b.cands[j].C
-		dec := &Decision{Kind: DecMerge, A: a.decs[i], B: b.decs[j]}
+		var dec DecRef
+		if ar != nil {
+			dec = ar.MergeDec(a.decs[i], b.decs[j])
+		}
 		if n := len(out.cands); n > 0 && out.cands[n-1].C == c {
 			out.cands[n-1] = Pair{q, c}
 			out.decs[n-1] = dec
@@ -90,7 +102,7 @@ func MergeSlice(a, b *SliceList) *SliceList {
 }
 
 // InsertOne mirrors List.InsertOne.
-func (s *SliceList) InsertOne(q, c float64, dec *Decision) bool {
+func (s *SliceList) InsertOne(q, c float64, dec DecRef) bool {
 	i := 0
 	for i < len(s.cands) && s.cands[i].C < c {
 		i++
@@ -107,7 +119,7 @@ func (s *SliceList) InsertOne(q, c float64, dec *Decision) bool {
 	}
 	// Splice: keep [0,i), insert, keep [j,end).
 	nc := make([]Pair, 0, len(s.cands)-(j-i)+1)
-	nd := make([]*Decision, 0, cap(nc))
+	nd := make([]DecRef, 0, cap(nc))
 	nc = append(append(append(nc, s.cands[:i]...), Pair{q, c}), s.cands[j:]...)
 	nd = append(append(append(nd, s.decs[:i]...), dec), s.decs[j:]...)
 	s.cands, s.decs = nc, nd
@@ -118,7 +130,7 @@ func (s *SliceList) InsertOne(q, c float64, dec *Decision) bool {
 // increasing C and Q).
 func (s *SliceList) MergeBetas(betas []Beta) {
 	nc := make([]Pair, 0, len(s.cands)+len(betas))
-	nd := make([]*Decision, 0, len(s.cands)+len(betas))
+	nd := make([]DecRef, 0, len(s.cands)+len(betas))
 	i := 0
 	for bi := range betas {
 		b := &betas[bi]
@@ -134,7 +146,7 @@ func (s *SliceList) MergeBetas(betas []Beta) {
 			continue
 		}
 		nc = append(nc, Pair{b.Q, b.C})
-		nd = append(nd, b.decision())
+		nd = append(nd, b.decision(s.ar))
 		for i < len(s.cands) && s.cands[i].Q <= b.Q {
 			i++ // dominated by the beta
 		}

@@ -22,8 +22,8 @@ func TestSliceListMatchesLinkedList(t *testing.T) {
 				sl.AddWire(r, c)
 			case 1:
 				q, c := rng.Float64()*400-200, rng.Float64()*200
-				okL := ll.InsertOne(q, c, nil)
-				okS := sl.InsertOne(q, c, nil)
+				okL := ll.InsertOne(q, c, 0)
+				okS := sl.InsertOne(q, c, 0)
 				if okL != okS {
 					t.Fatalf("iter %d op %d: InsertOne disagreement (%v vs %v)", iter, op, okL, okS)
 				}
@@ -98,12 +98,13 @@ func TestSliceListBestForRMatches(t *testing.T) {
 }
 
 func TestSliceListBasics(t *testing.T) {
-	s := NewSliceSink(100, 5, 3)
+	ar := NewArena()
+	s := NewSliceSink(ar, 100, 5, 3)
 	if s.Len() != 1 || s.cands[0] != (Pair{100, 5}) {
 		t.Fatalf("sink slice list wrong: %+v", s)
 	}
-	if s.decs[0].Vertex != 3 || s.decs[0].Kind != DecSink {
-		t.Fatalf("decision wrong: %+v", s.decs[0])
+	if dec := ar.Decision(s.decs[0]); dec.Vertex != 3 || dec.Kind != DecSink {
+		t.Fatalf("decision wrong: %+v", dec)
 	}
 	if (&SliceList{}).BestForR(1) != -1 {
 		t.Fatal("empty BestForR must return -1")

@@ -23,6 +23,13 @@
 // polarity requirements by running the dynamic program on a pair of
 // candidate lists (one per required arrival parity), and exposes two
 // pruning modes — see PruneMode and DESIGN.md §4.
+//
+// Execution is split from construction: an Engine owns a decision Arena and
+// every scratch buffer, Reset re-targets it at a net, and Run executes the
+// dynamic program. A warm engine re-running on same-shaped nets performs
+// zero steady-state heap allocations (asserted by testing.AllocsPerRun in
+// the tests), which is what makes the batch API in the bufferkit facade
+// scale across worker goroutines instead of across the garbage collector.
 package core
 
 import (
@@ -88,6 +95,9 @@ type Stats struct {
 	// BetasGenerated counts buffered candidates produced by the hull walk;
 	// BetasKept counts those surviving normalization.
 	BetasGenerated, BetasKept int
+	// Decisions is the number of reconstruction records the arena holds at
+	// the end of the run.
+	Decisions int
 }
 
 // Result is the outcome of a run.
@@ -102,45 +112,37 @@ type Result struct {
 	Stats      Stats
 }
 
-// Insert computes optimal buffer insertion on t with library lib.
+// Insert computes optimal buffer insertion on t with library lib — the
+// single-shot entry point, paying construction on every call. Workloads
+// that optimize many nets (or the same net repeatedly) should hold an
+// Engine and Reset/Run it instead, or use bufferkit.InsertBatch.
 func Insert(t *tree.Tree, lib library.Library, opt Options) (*Result, error) {
-	if err := lib.Validate(); err != nil {
+	e := NewEngine()
+	if err := e.Reset(t, lib, opt); err != nil {
 		return nil, err
 	}
-	polar := lib.HasInverters()
-	for i := range t.Verts {
-		if t.Verts[i].Kind == tree.Sink && t.Verts[i].Pol == tree.Negative {
-			if !lib.HasInverters() {
-				return nil, fmt.Errorf("core: sink %d requires negative polarity but the library has no inverters", i)
-			}
-			polar = true
-		}
+	res := &Result{}
+	if err := e.Run(res); err != nil {
+		return nil, err
 	}
-
-	e := &engine{
-		t:       t,
-		lib:     lib,
-		opt:     opt,
-		polar:   polar,
-		orderR:  lib.ByRDesc(),
-		cinRank: make([]int, len(lib)),
-	}
-	for rank, ti := range lib.ByCinAsc() {
-		e.cinRank[ti] = rank
-	}
-	for s := range e.betaSlot {
-		e.betaSlot[s] = make([]candidate.Beta, len(lib))
-		e.betaHas[s] = make([]bool, len(lib))
-	}
-	return e.run()
+	return res, nil
 }
 
-// engine holds per-run state and scratch buffers.
-type engine struct {
+// Engine is a reusable insertion engine. It owns a decision Arena and all
+// scratch state (hull buffers, beta slots, per-vertex list table, library
+// orderings), none of which is reallocated across runs: Reset re-targets
+// the engine at a (tree, library, options) triple, Run executes one run.
+// A warm engine allocates nothing on the steady-state path.
+//
+// An Engine is not safe for concurrent use; use one per goroutine.
+type Engine struct {
+	arena *candidate.Arena
+
 	t     *tree.Tree
 	lib   library.Library
 	opt   Options
 	polar bool
+	ready bool
 
 	orderR  []int // type indices, driving resistance non-increasing
 	cinRank []int // cinRank[type] = rank in input-capacitance order
@@ -150,17 +152,85 @@ type engine struct {
 	betaHas  [2][]bool
 	betaOrd  [2][]candidate.Beta // cin-ordered betas, per destination parity
 
+	lists []pair // per-vertex candidate state, reused across runs
+
 	stats Stats
 }
 
-// pair is the candidate state at one vertex: pair[0] holds candidates valid
-// when the arriving signal has source polarity, pair[1] when inverted. In
-// non-polar runs only slot 0 is used. A nil list means "no candidate of
-// this parity exists".
-type pair [2]*candidate.List
+// NewEngine returns an engine with an empty arena. All scratch buffers are
+// sized lazily by the first Reset.
+func NewEngine() *Engine {
+	return &Engine{arena: candidate.NewArena()}
+}
 
-func (e *engine) run() (*Result, error) {
-	lists := make([]pair, e.t.Len())
+// Reset points the engine at a new instance, revalidating the library and
+// resizing scratch state. It does not run anything; call Run afterwards.
+// Scratch buffers and arena slabs are kept, so resetting to a same-shaped
+// instance allocates nothing.
+func (e *Engine) Reset(t *tree.Tree, lib library.Library, opt Options) error {
+	e.ready = false // a failed Reset must not leave a runnable stale instance
+	if err := lib.Validate(); err != nil {
+		return err
+	}
+	polar := lib.HasInverters()
+	for i := range t.Verts {
+		if t.Verts[i].Kind == tree.Sink && t.Verts[i].Pol == tree.Negative {
+			if !lib.HasInverters() {
+				return fmt.Errorf("core: sink %d requires negative polarity but the library has no inverters", i)
+			}
+			polar = true
+		}
+	}
+	e.t, e.opt, e.polar = t, opt, polar
+
+	// Library orderings are recomputed only when the library changes
+	// (compared by backing array identity), keeping warm resets free; the
+	// change path may allocate, which is fine — it is paid once per
+	// library, not per run.
+	if !sameLibrary(e.lib, lib) {
+		e.lib = lib
+		b := len(lib)
+		e.orderR = lib.ByRDesc()
+		e.cinRank = candidate.Resize(e.cinRank, b)
+		for rank, ti := range lib.ByCinAsc() {
+			e.cinRank[ti] = rank
+		}
+		for s := 0; s < 2; s++ {
+			e.betaSlot[s] = candidate.Resize(e.betaSlot[s], b)
+			e.betaHas[s] = candidate.Resize(e.betaHas[s], b)
+			clear(e.betaHas[s])
+			e.betaOrd[s] = candidate.Resize(e.betaOrd[s], b)[:0]
+		}
+	}
+
+	e.lists = candidate.Resize(e.lists, t.Len())
+	e.ready = true
+	return nil
+}
+
+// Release drops the engine's references to the last instance's tree and
+// library (retaining arena slabs and scratch capacity), so pooled idle
+// engines do not keep whole designs reachable. Reset makes the engine
+// runnable again.
+func (e *Engine) Release() {
+	e.t, e.lib, e.opt = nil, nil, Options{}
+	e.ready = false
+	clear(e.lists)
+}
+
+// Run executes one insertion run on the instance set by Reset, writing the
+// outcome into res. res.Placement is reused when its capacity suffices;
+// everything else the run needs comes from the engine's arena, which is
+// rewound (O(1)) at entry — so Run may be called repeatedly after one
+// Reset, each call an independent run.
+func (e *Engine) Run(res *Result) error {
+	if !e.ready {
+		return errors.New("core: Run called before a successful Reset")
+	}
+	e.arena.Reset()
+	e.stats = Stats{}
+	clear(e.lists)
+
 	for _, v := range e.t.PostOrder() {
 		vert := &e.t.Verts[v]
 		if vert.Kind == tree.Sink {
@@ -169,15 +239,15 @@ func (e *engine) run() (*Result, error) {
 				s = 1
 			}
 			var p pair
-			p[s] = candidate.NewSink(vert.RAT, vert.Cap, v)
-			lists[v] = p
+			p[s] = e.arena.NewSink(vert.RAT, vert.Cap, v)
+			e.lists[v] = p
 			continue
 		}
 		var acc pair
 		first := true
 		for _, c := range e.t.Children(v) {
-			lc := lists[c]
-			lists[c] = pair{}
+			lc := e.lists[c]
+			e.lists[c] = pair{}
 			r, wc := e.t.Verts[c].EdgeR, e.t.Verts[c].EdgeC
 			for s := 0; s < 2; s++ {
 				if lc[s] != nil {
@@ -190,45 +260,51 @@ func (e *engine) run() (*Result, error) {
 			} else {
 				for s := 0; s < 2; s++ {
 					merged := mergeNilable(acc[s], lc[s])
-					recycleNilable(acc[s])
-					recycleNilable(lc[s])
+					freeNilable(acc[s])
+					freeNilable(lc[s])
 					acc[s] = merged
 				}
 			}
 		}
 		if acc[0] == nil && acc[1] == nil {
-			return nil, fmt.Errorf("core: subtree at vertex %d has no polarity-feasible candidates", v)
+			return fmt.Errorf("core: subtree at vertex %d has no polarity-feasible candidates", v)
 		}
 		if vert.BufferOK {
 			e.addBuffer(v, &acc, vert.Allowed)
 		}
 		if err := e.check(&acc); err != nil {
-			return nil, err
+			return err
 		}
 		if n := lenNilable(acc[0]) + lenNilable(acc[1]); n > e.stats.MaxListLen {
 			e.stats.MaxListLen = n
 		}
-		lists[v] = acc
+		e.lists[v] = acc
 	}
 
-	root := lists[0][0]
+	root := e.lists[0][0]
 	if root == nil || root.Len() == 0 {
-		return nil, errors.New("core: no polarity-feasible solution at the source")
+		return errors.New("core: no polarity-feasible solution at the source")
 	}
-	res := &Result{
-		Placement:  delay.NewPlacement(e.t.Len()),
-		Candidates: root.Len(),
-		Stats:      e.stats,
-	}
+	e.stats.Decisions = e.arena.NumDecisions()
+
+	res.Placement = res.Placement.Reuse(e.t.Len())
+	res.Candidates = root.Len()
+	res.Stats = e.stats
 	best := root.BestForR(e.opt.Driver.R)
 	res.Slack = best.Q - e.opt.Driver.R*best.C - e.opt.Driver.K
-	best.Dec.Fill(res.Placement)
-	return res, nil
+	e.arena.Fill(best.Dec, res.Placement)
+	return nil
 }
+
+// pair is the candidate state at one vertex: pair[0] holds candidates valid
+// when the arriving signal has source polarity, pair[1] when inverted. In
+// non-polar runs only slot 0 is used. A nil list means "no candidate of
+// this parity exists".
+type pair [2]*candidate.List
 
 // addBuffer is the paper's O(k + b) operation (plus a second parity in
 // polar runs).
-func (e *engine) addBuffer(v int, acc *pair, allowed []int) {
+func (e *Engine) addBuffer(v int, acc *pair, allowed []int) {
 	e.stats.Positions++
 	e.stats.SumListLen += lenNilable(acc[0]) + lenNilable(acc[1])
 
@@ -312,13 +388,13 @@ func (e *engine) addBuffer(v int, acc *pair, allowed []int) {
 		ord = candidate.NormalizeBetas(ord)
 		e.stats.BetasKept += len(ord)
 		if acc[dst] == nil {
-			acc[dst] = &candidate.List{}
+			acc[dst] = e.arena.NewList()
 		}
 		acc[dst].MergeBetas(ord)
 	}
 }
 
-func (e *engine) check(acc *pair) error {
+func (e *Engine) check(acc *pair) error {
 	if !e.opt.CheckInvariants {
 		return nil
 	}
@@ -331,6 +407,13 @@ func (e *engine) check(acc *pair) error {
 		}
 	}
 	return nil
+}
+
+// sameLibrary reports whether two libraries share the same backing array —
+// the immutability contract on Library makes identity equivalent to
+// equality here, and it keeps warm Resets free of sorting work.
+func sameLibrary(a, b library.Library) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
 }
 
 // mergeNilable merges two branch lists of the same parity; if either branch
@@ -349,10 +432,11 @@ func lenNilable(l *candidate.List) int {
 	return l.Len()
 }
 
-// recycleNilable returns a consumed branch list's nodes to the pool.
-func recycleNilable(l *candidate.List) {
+// freeNilable returns a consumed branch list (nodes and header) to the
+// arena.
+func freeNilable(l *candidate.List) {
 	if l != nil {
-		l.Recycle()
+		l.Free()
 	}
 }
 

@@ -57,7 +57,12 @@ func Pareto(t *tree.Tree, lib library.Library, opt Options) ([]Point, error) {
 		}
 	}
 
-	e := &engine{t: t, lib: lib, opt: opt, orderR: lib.ByRDesc(), cinRank: make([]int, len(lib))}
+	e := &engine{
+		t: t, lib: lib, opt: opt,
+		arena:   candidate.NewArena(),
+		orderR:  lib.ByRDesc(),
+		cinRank: make([]int, len(lib)),
+	}
 	for rank, ti := range lib.ByCinAsc() {
 		e.cinRank[ti] = rank
 	}
@@ -81,6 +86,7 @@ type engine struct {
 	t       *tree.Tree
 	lib     library.Library
 	opt     Options
+	arena   *candidate.Arena
 	orderR  []int
 	cinRank []int
 }
@@ -90,7 +96,7 @@ func (e *engine) run() ([]Point, error) {
 	for _, v := range e.t.PostOrder() {
 		vert := &e.t.Verts[v]
 		if vert.Kind == tree.Sink {
-			lists[v] = levels{0: candidate.NewSink(vert.RAT, vert.Cap, v)}
+			lists[v] = levels{0: e.arena.NewSink(vert.RAT, vert.Cap, v)}
 			continue
 		}
 		var acc levels
@@ -110,7 +116,7 @@ func (e *engine) run() ([]Point, error) {
 			e.addBuffer(v, acc, vert.Allowed)
 		}
 		if !e.opt.NoCrossLevelPrune {
-			crossLevelPrune(acc)
+			e.crossLevelPrune(acc)
 		}
 		lists[v] = acc
 	}
@@ -124,7 +130,7 @@ func (e *engine) run() ([]Point, error) {
 			continue // dominated by a cheaper level
 		}
 		p := delay.NewPlacement(e.t.Len())
-		best.Dec.Fill(p)
+		e.arena.Fill(best.Dec, p)
 		out = append(out, Point{Cost: w, Slack: slack, Placement: p})
 	}
 	return out, nil
@@ -178,7 +184,7 @@ func (e *engine) addBuffer(v int, acc levels, allowed []int) {
 		})
 		betas = candidate.NormalizeBetas(betas)
 		if acc[nw] == nil {
-			acc[nw] = &candidate.List{}
+			acc[nw] = e.arena.NewList()
 		}
 		acc[nw].MergeBetas(betas)
 	}
@@ -197,7 +203,7 @@ func mergeLevels(a, b levels, maxCost int) levels {
 			m := candidate.Merge(la, lb)
 			if cur, ok := out[w]; ok {
 				union(cur, m)
-				m.Recycle()
+				m.Free()
 			} else {
 				out[w] = m
 			}
@@ -205,10 +211,10 @@ func mergeLevels(a, b levels, maxCost int) levels {
 	}
 	// The input level lists are fully consumed.
 	for _, la := range a {
-		la.Recycle()
+		la.Free()
 	}
 	for _, lb := range b {
-		lb.Recycle()
+		lb.Free()
 	}
 	return out
 }
@@ -226,22 +232,23 @@ func union(dst, src *candidate.List) {
 // cheaper (or equal, earlier-seen) level: processing levels in ascending
 // cost order, a running frontier of the best (Q, C) pairs so far prunes
 // each level, then absorbs it. Levels left empty are deleted.
-func crossLevelPrune(acc levels) {
+func (e *engine) crossLevelPrune(acc levels) {
 	costs := acc.sortedCosts()
 	if len(costs) < 2 {
 		return
 	}
-	frontier := &candidate.List{}
+	frontier := e.arena.NewList()
 	for _, w := range costs {
 		l := acc[w]
 		pruneAgainst(l, frontier)
 		if l.Len() == 0 {
+			acc[w].Free()
 			delete(acc, w)
 			continue
 		}
 		union(frontier, l)
 	}
-	frontier.Recycle()
+	frontier.Free()
 }
 
 // pruneAgainst removes from l every candidate dominated by a frontier

@@ -43,6 +43,20 @@ func NewPlacement(n int) Placement {
 	return p
 }
 
+// Reuse returns an all-unbuffered placement for n vertices, reusing p's
+// backing array when its capacity suffices — the allocation-free reset the
+// warm engines rely on.
+func (p Placement) Reuse(n int) Placement {
+	if cap(p) < n {
+		return NewPlacement(n)
+	}
+	p = p[:n]
+	for i := range p {
+		p[i] = NoBuffer
+	}
+	return p
+}
+
 // Count returns the number of buffered vertices.
 func (p Placement) Count() int {
 	n := 0

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+	"time"
+
+	"bufferkit"
+	"bufferkit/internal/core"
+	"bufferkit/internal/library"
+	"bufferkit/internal/netgen"
+	"bufferkit/internal/tree"
+)
+
+// BatchWorkload returns the deterministic mixed batch of n small nets used
+// by both the root BenchmarkInsertBatch and repro -bench-json, so the two
+// trajectories measure the same workload under the same name.
+func BatchWorkload(n int) []*tree.Tree {
+	nets := make([]*tree.Tree, n)
+	for i := range nets {
+		nets[i] = netgen.Random(netgen.Opts{Sinks: 4 + i%13, Seed: int64(i) * 31})
+	}
+	return nets
+}
+
+// BenchResult is one benchmark measurement in the JSON trajectory format
+// consumed by BENCH_*.json tracking.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	NetsPerSec  float64 `json:"nets_per_sec,omitempty"`
+}
+
+// BenchReport is the top-level JSON document emitted by BenchJSON.
+type BenchReport struct {
+	GoVersion  string        `json:"go_version"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Scale      int           `json:"scale"`
+	Timestamp  string        `json:"timestamp"`
+	Results    []BenchResult `json:"results"`
+}
+
+// BenchJSON measures the allocation-discipline benchmarks — single-shot
+// insertion, warm-engine insertion, and batch throughput at several worker
+// counts — and writes them as one JSON document, so successive revisions
+// can be tracked as BENCH_*.json trajectories without parsing `go test
+// -bench` text output.
+func BenchJSON(cfg Config, w io.Writer) error {
+	cfg = cfg.fill()
+	t, err := cfg.net(337, 5729)
+	if err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	lib := library.Generate(16)
+	opt := core.Options{Driver: Driver}
+
+	report := BenchReport{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      cfg.Scale,
+		Timestamp:  time.Now().UTC().Format(time.RFC3339),
+	}
+	add := func(name string, nets int, r testing.BenchmarkResult) {
+		br := BenchResult{
+			Name:        name,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if nets > 0 && r.T > 0 {
+			br.NetsPerSec = float64(nets*r.N) / r.T.Seconds()
+		}
+		report.Results = append(report.Results, br)
+	}
+
+	add("insert/coldshot", 1, testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Insert(t, lib, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+	add("insert/warm", 1, testing.Benchmark(func(b *testing.B) {
+		eng := core.NewEngine()
+		if err := eng.Reset(t, lib, opt); err != nil {
+			b.Fatal(err)
+		}
+		res := &core.Result{}
+		if err := eng.Run(res); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := eng.Run(res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	nets := BatchWorkload(256)
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		add(fmt.Sprintf("batch/w%d", workers), len(nets), testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := bufferkit.InsertBatch(nets, lib, bufferkit.BatchOptions{
+					Driver:  Driver,
+					Workers: workers,
+				}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(report)
+}

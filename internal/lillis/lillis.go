@@ -6,6 +6,10 @@
 // each of the b types it scans the whole candidate list (O(bk)) to find the
 // best unbuffered candidate, and then inserts each of the b new candidates
 // by an O(k) linear-scan insertion (another O(bk)).
+//
+// Like internal/core, the baseline exposes a reusable Engine with the same
+// arena-backed allocation discipline, so benchmark comparisons between the
+// two algorithms measure the algorithms, not their memory management.
 package lillis
 
 import (
@@ -42,30 +46,65 @@ type Result struct {
 	Stats      Stats
 }
 
+// Engine is a reusable Lillis engine: one decision arena plus the
+// per-vertex list table and beta scratch, all kept across runs.
+// Not safe for concurrent use.
+type Engine struct {
+	arena *candidate.Arena
+	lists []*candidate.List
+	betas []candidate.Beta
+}
+
+// NewEngine returns an engine with an empty arena.
+func NewEngine() *Engine {
+	return &Engine{arena: candidate.NewArena()}
+}
+
 // Insert computes optimal buffer insertion on t with library lib and driver
 // drv. Inverting types and negative-polarity sinks are not supported by this
 // baseline (matching the paper's experimental setup); use internal/core for
 // polarity-aware insertion.
 func Insert(t *tree.Tree, lib library.Library, drv delay.Driver) (*Result, error) {
-	if err := lib.Validate(); err != nil {
+	return NewEngine().Insert(t, lib, drv)
+}
+
+// Insert runs the baseline, reusing the engine's arena and scratch state.
+func (e *Engine) Insert(t *tree.Tree, lib library.Library, drv delay.Driver) (*Result, error) {
+	res := &Result{}
+	if err := e.Run(t, lib, drv, res); err != nil {
 		return nil, err
 	}
+	return res, nil
+}
+
+// Run is Insert writing into a caller-owned Result, reusing res.Placement
+// when its capacity suffices. A warm engine runs allocation-free.
+func (e *Engine) Run(t *tree.Tree, lib library.Library, drv delay.Driver, res *Result) error {
+	if err := lib.Validate(); err != nil {
+		return err
+	}
 	if lib.HasInverters() {
-		return nil, errors.New("lillis: inverting types not supported; use internal/core")
+		return errors.New("lillis: inverting types not supported; use internal/core")
 	}
 	for i := range t.Verts {
 		if t.Verts[i].Kind == tree.Sink && t.Verts[i].Pol == tree.Negative {
-			return nil, fmt.Errorf("lillis: sink %d requires negative polarity; library has no inverters", i)
+			return fmt.Errorf("lillis: sink %d requires negative polarity; library has no inverters", i)
 		}
 	}
 
-	res := &Result{Placement: delay.NewPlacement(t.Len())}
-	lists := make([]*candidate.List, t.Len())
-	betas := make([]candidate.Beta, 0, len(lib))
+	e.arena.Reset()
+	n := t.Len()
+	e.lists = candidate.Resize(e.lists, n)
+	clear(e.lists)
+	e.betas = candidate.Resize(e.betas, len(lib))[:0]
+	res.Placement = res.Placement.Reuse(n)
+	res.Stats = Stats{}
+
+	lists := e.lists
 	for _, v := range t.PostOrder() {
 		vert := &t.Verts[v]
 		if vert.Kind == tree.Sink {
-			lists[v] = candidate.NewSink(vert.RAT, vert.Cap, v)
+			lists[v] = e.arena.NewSink(vert.RAT, vert.Cap, v)
 			continue
 		}
 		var cur *candidate.List
@@ -77,17 +116,17 @@ func Insert(t *tree.Tree, lib library.Library, drv delay.Driver) (*Result, error
 				cur = lc
 			} else {
 				m := candidate.Merge(cur, lc)
-				cur.Recycle()
-				lc.Recycle()
+				cur.Free()
+				lc.Free()
 				cur = m
 			}
 		}
 		if vert.BufferOK {
 			res.Stats.Positions++
 			res.Stats.SumListLen += cur.Len()
-			betas = addBuffer(cur, lib, vert.Allowed, v, betas[:0])
-			for i := range betas {
-				if cur.InsertOne(betas[i].Q, betas[i].C, betas[i].Dec) {
+			e.betas = addBuffer(e.arena, cur, lib, vert.Allowed, v, e.betas[:0])
+			for i := range e.betas {
+				if cur.InsertOne(e.betas[i].Q, e.betas[i].C, e.betas[i].Dec) {
 					res.Stats.BetasInserted++
 				}
 			}
@@ -102,13 +141,13 @@ func Insert(t *tree.Tree, lib library.Library, drv delay.Driver) (*Result, error
 	res.Candidates = root.Len()
 	best := root.BestForR(drv.R)
 	res.Slack = best.Q - drv.R*best.C - drv.K
-	best.Dec.Fill(res.Placement)
-	return res, nil
+	e.arena.Fill(best.Dec, res.Placement)
+	return nil
 }
 
 // addBuffer generates one buffered candidate per allowed type by a full
 // linear scan of the list — the O(b·k) step.
-func addBuffer(l *candidate.List, lib library.Library, allowed []int, vertex int, out []candidate.Beta) []candidate.Beta {
+func addBuffer(ar *candidate.Arena, l *candidate.List, lib library.Library, allowed []int, vertex int, out []candidate.Beta) []candidate.Beta {
 	for ti := range lib {
 		if len(allowed) > 0 && !contains(allowed, ti) {
 			continue
@@ -119,7 +158,7 @@ func addBuffer(l *candidate.List, lib library.Library, allowed []int, vertex int
 			Q:      best.Q - b.R*best.C - b.K,
 			C:      b.Cin,
 			Buffer: ti,
-			Dec:    &candidate.Decision{Kind: candidate.DecBuffer, Vertex: vertex, Buffer: ti, A: best.Dec},
+			Dec:    ar.BufferDec(vertex, ti, best.Dec),
 		})
 	}
 	return out

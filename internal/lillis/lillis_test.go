@@ -160,3 +160,37 @@ func TestRejectsInvalidLibrary(t *testing.T) {
 		t.Fatal("accepted empty library")
 	}
 }
+
+// TestWarmEngineMatchesAndDoesNotAllocate mirrors the core engine's reuse
+// contract on the baseline: a warm engine re-running the same instance
+// produces identical results with zero steady-state allocations, so
+// benchmark comparisons between the algorithms are apples-to-apples.
+func TestWarmEngineMatchesAndDoesNotAllocate(t *testing.T) {
+	lib := library.Generate(8)
+	tr := netgen.TwoPin(8000, 40, 10, 1000, netgen.PaperWire())
+	drv := delay.Driver{R: 0.2, K: 15}
+
+	cold, err := Insert(tr, lib, drv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := NewEngine()
+	res := &Result{}
+	if err := eng.Run(tr, lib, drv, res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Slack != cold.Slack {
+		t.Fatalf("warm %v != cold %v", res.Slack, cold.Slack)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := eng.Run(tr, lib, drv, res); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0.5 {
+		t.Fatalf("warm lillis run allocates %.1f objects per run, want 0", allocs)
+	}
+	if res.Slack != cold.Slack {
+		t.Fatalf("warm runs diverged: %v != %v", res.Slack, cold.Slack)
+	}
+}

@@ -32,7 +32,7 @@ type Result struct {
 // cand is a slice-backed candidate.
 type cand struct {
 	q, c float64
-	dec  *candidate.Decision
+	dec  candidate.DecRef
 }
 
 // Insert computes optimal buffer insertion on t with the single buffer type
@@ -54,13 +54,13 @@ func Insert(t *tree.Tree, buf library.Buffer, drv delay.Driver) (*Result, error)
 		}
 	}
 
+	ar := candidate.NewArena()
 	res := &Result{Placement: delay.NewPlacement(t.Len())}
 	lists := make([][]cand, t.Len())
 	for _, v := range t.PostOrder() {
 		vert := &t.Verts[v]
 		if vert.Kind == tree.Sink {
-			lists[v] = []cand{{q: vert.RAT, c: vert.Cap,
-				dec: &candidate.Decision{Kind: candidate.DecSink, Vertex: v}}}
+			lists[v] = []cand{{q: vert.RAT, c: vert.Cap, dec: ar.SinkDec(v)}}
 			continue
 		}
 		var cur []cand
@@ -71,11 +71,11 @@ func Insert(t *tree.Tree, buf library.Buffer, drv delay.Driver) (*Result, error)
 			if cur == nil {
 				cur = lc
 			} else {
-				cur = merge(cur, lc)
+				cur = merge(ar, cur, lc)
 			}
 		}
 		if vert.BufferOK {
-			cur = addBuffer(cur, buf, v)
+			cur = addBuffer(ar, cur, buf, v)
 		}
 		if len(cur) > res.MaxListLen {
 			res.MaxListLen = len(cur)
@@ -93,7 +93,7 @@ func Insert(t *tree.Tree, buf library.Buffer, drv delay.Driver) (*Result, error)
 		}
 	}
 	res.Slack = bv - drv.K
-	best.dec.Fill(res.Placement)
+	ar.Fill(best.dec, res.Placement)
 	return res, nil
 }
 
@@ -117,7 +117,7 @@ func addWire(l []cand, r, c float64) []cand {
 }
 
 // merge combines two branch lists: Q = min, C = sum, two-pointer sweep.
-func merge(a, b []cand) []cand {
+func merge(ar *candidate.Arena, a, b []cand) []cand {
 	out := make([]cand, 0, len(a)+len(b))
 	i, j := 0, 0
 	for i < len(a) && j < len(b) {
@@ -126,7 +126,7 @@ func merge(a, b []cand) []cand {
 			q = b[j].q
 		}
 		c := a[i].c + b[j].c
-		dec := &candidate.Decision{Kind: candidate.DecMerge, A: a[i].dec, B: b[j].dec}
+		dec := ar.MergeDec(a[i].dec, b[j].dec)
 		if len(out) > 0 && out[len(out)-1].c == c {
 			out[len(out)-1] = cand{q, c, dec}
 		} else {
@@ -144,7 +144,7 @@ func merge(a, b []cand) []cand {
 
 // addBuffer generates the single buffered candidate from the best unbuffered
 // candidate (max Q − R·C, ties toward min C) and inserts it.
-func addBuffer(l []cand, buf library.Buffer, vertex int) []cand {
+func addBuffer(ar *candidate.Arena, l []cand, buf library.Buffer, vertex int) []cand {
 	best := 0
 	bv := l[0].q - buf.R*l[0].c
 	for i := 1; i < len(l); i++ {
@@ -155,7 +155,7 @@ func addBuffer(l []cand, buf library.Buffer, vertex int) []cand {
 	nc := cand{
 		q:   bv - buf.K,
 		c:   buf.Cin,
-		dec: &candidate.Decision{Kind: candidate.DecBuffer, Vertex: vertex, Buffer: 0, A: l[best].dec},
+		dec: ar.BufferDec(vertex, 0, l[best].dec),
 	}
 	return insertCand(l, nc)
 }
