@@ -1,15 +1,16 @@
 package bufferkit
 
 import (
+	"context"
 	"fmt"
-	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"bufferkit/internal/core"
 )
 
 // BatchOptions configure InsertBatch.
+//
+// Deprecated: construct a Solver with WithDriver / WithDrivers /
+// WithPruneMode / WithWorkers instead.
 type BatchOptions struct {
 	// Driver is the source driver applied to every net (zero = ideal).
 	Driver Driver
@@ -23,12 +24,8 @@ type BatchOptions struct {
 	Workers int
 }
 
-// enginePool recycles warm engines (and their arenas) across InsertBatch
-// calls, so a service issuing batch after batch reaches steady state with
-// no per-batch engine construction at all.
-var enginePool = sync.Pool{New: func() any { return core.NewEngine() }}
-
-// BatchError reports every net that failed in an InsertBatch call.
+// BatchError reports every net that failed in a RunBatch or InsertBatch
+// call.
 type BatchError struct {
 	// Errs maps net index to its error; only failed nets appear.
 	Errs map[int]error
@@ -48,84 +45,65 @@ func (e *BatchError) Error() string {
 }
 
 // InsertBatch runs the paper's O(bn²) insertion over every net concurrently
-// on a worker pool. Each worker owns one pooled Engine (and therefore one
-// decision arena), so the steady-state hot path allocates nothing no matter
-// how many nets stream through — the batch analogue of holding a warm
-// Engine.
+// on a worker pool. Results are positionally aligned with nets and
+// identical to running Insert sequentially on each net. On failure the
+// returned error is a *BatchError naming every failed net; the result
+// slice still carries the successful nets, with nil at failed indices.
 //
-// Results are positionally aligned with nets and identical to running
-// Insert sequentially on each net (the algorithm is deterministic and
-// workers share nothing). On failure the returned error is a *BatchError
-// naming every failed net; the result slice still carries the successful
-// nets, with nil at failed indices.
+// Deprecated: use NewSolver with Solver.RunBatch, which adds context
+// cancellation, or Solver.Stream, which yields results as they complete.
 func InsertBatch(nets []*Tree, lib Library, opt BatchOptions) ([]*Result, error) {
+	// Preserve the legacy error contract exactly: a driver-count mismatch
+	// fails with this message, an empty batch succeeds even with a bad
+	// library, and an invalid library surfaces as a *BatchError naming
+	// every net (as the per-net engine Resets used to report it).
 	if opt.Drivers != nil && len(opt.Drivers) != len(nets) {
 		return nil, fmt.Errorf("bufferkit: batch: %d per-net drivers for %d nets", len(opt.Drivers), len(nets))
 	}
-	results := make([]*Result, len(nets))
 	if len(nets) == 0 {
-		return results, nil
+		return []*Result{}, nil
 	}
-	workers := opt.Workers
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	s, err := NewSolver(
+		WithLibrary(lib),
+		WithDriver(opt.Driver),
+		WithDrivers(opt.Drivers),
+		WithPruneMode(opt.Prune),
+		WithWorkers(opt.Workers),
+	)
+	if err != nil {
+		errs := make(map[int]error, len(nets))
+		for i := range nets {
+			errs[i] = err
+		}
+		return make([]*Result, len(nets)), &BatchError{Errs: errs}
 	}
-	if workers > len(nets) {
-		workers = len(nets)
+	nrs, err := s.RunBatch(context.Background(), nets)
+	if _, partial := err.(*BatchError); err != nil && !partial {
+		return nil, err
 	}
-
-	errs := make([]error, len(nets))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			eng := enginePool.Get().(*core.Engine)
-			defer func() {
-				eng.Release() // don't let pooled engines pin the batch's trees
-				enginePool.Put(eng)
-			}()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(nets) {
-					return
-				}
-				o := core.Options{Driver: opt.Driver, Prune: opt.Prune}
-				if opt.Drivers != nil {
-					o.Driver = opt.Drivers[i]
-				}
-				if err := eng.Reset(nets[i], lib, o); err != nil {
-					errs[i] = err
-					continue
-				}
-				res := &Result{}
-				if err := eng.Run(res); err != nil {
-					errs[i] = err
-					continue
-				}
-				results[i] = res
-			}
-		}()
-	}
-	wg.Wait()
-
-	failed := map[int]error{}
-	for i, err := range errs {
-		if err != nil {
-			failed[i] = err
+	results := make([]*Result, len(nets))
+	for i, nr := range nrs {
+		if nr != nil {
+			results[i] = legacyResult(nr)
 		}
 	}
-	if len(failed) > 0 {
-		return results, &BatchError{Errs: failed}
-	}
-	return results, nil
+	return results, err
+}
+
+// legacyResult converts a NetResult back into the pre-Solver Result shape
+// shared by the deprecated Insert and InsertBatch wrappers.
+func legacyResult(nr *NetResult) *Result {
+	return &Result{Slack: nr.Slack, Placement: nr.Placement, Candidates: nr.Candidates, Stats: nr.Stats}
 }
 
 // NewEngine returns a reusable insertion engine for workloads that manage
 // their own concurrency: Reset it at a net, Run it (repeatedly, if
 // useful), and keep it warm — a warm engine allocates nothing on the
 // steady-state path. Engines are not safe for concurrent use.
+//
+// Most callers are better served by a Solver, which pools warm engines
+// behind the same zero-allocation path; NewEngine remains for callers that
+// need direct control of Reset/Run scheduling.
 func NewEngine() *Engine { return core.NewEngine() }
 
 // Engine is a reusable insertion engine (see internal/core.Engine).

@@ -17,12 +17,21 @@
 //	v := b.AddBufferPos(0, 0.38, 590)          // 5 mm of wire, then a leg
 //	b.AddSink(v, 0.19, 295, 10, 1000)          // 10 fF sink, RAT 1 ns
 //	net := b.MustBuild()
-//	lib := bufferkit.GenerateLibrary(16)
-//	res, err := bufferkit.Insert(net, lib, bufferkit.Options{
-//		Driver: bufferkit.Driver{R: 0.2, K: 15},
-//	})
+//	solver, err := bufferkit.NewSolver(
+//		bufferkit.WithLibrary(bufferkit.GenerateLibrary(16)),
+//		bufferkit.WithDriver(bufferkit.Driver{R: 0.2, K: 15}),
+//	)
+//	res, err := solver.Run(ctx, net)
 //	// res.Slack is the optimal slack; res.Placement says which buffer
 //	// type (if any) to place at every vertex.
+//
+// The Solver is the single entry point to every algorithm: the paper's
+// O(bn²) (the default), the Lillis O(b²n²) and van Ginneken O(n²)
+// baselines, and the cost–slack Pareto extension, all behind the Algorithm
+// interface and selected with WithAlgorithm. New algorithms plug in
+// through Register without touching the facade. Solver.Run takes a
+// context.Context and cancels mid-run; typed errors (ErrInfeasible,
+// ErrCanceled, *ValidationError) support errors.Is / errors.As branching.
 //
 // The package is a facade over focused internal packages: routing trees,
 // buffer libraries, exact Elmore evaluation, the candidate-list machinery
@@ -32,12 +41,15 @@
 // the system inventory and EXPERIMENTS.md for the reproduction results.
 //
 // For many-net workloads (thousands of nets per design, or the same net
-// under many process corners), InsertBatch runs the algorithm concurrently
-// on a worker pool of warm engines, and NewEngine exposes a reusable
-// zero-steady-state-allocation engine directly — see DESIGN.md §7–§8.
+// under many process corners), Solver.Stream runs the algorithm
+// concurrently on a worker pool of warm engines and yields results as they
+// complete; Solver.RunBatch collects them, and NewEngine exposes a
+// reusable zero-steady-state-allocation engine directly — see DESIGN.md
+// §7–§9.
 package bufferkit
 
 import (
+	"context"
 	"io"
 
 	"bufferkit/internal/core"
@@ -77,6 +89,10 @@ type (
 	Options = core.Options
 	// Result is the outcome of Insert.
 	Result = core.Result
+	// LillisResult is the outcome of InsertLillis.
+	LillisResult = lillis.Result
+	// VanGinnekenResult is the outcome of InsertVanGinneken.
+	VanGinnekenResult = vanginneken.Result
 	// Stats are Insert's instrumentation counters.
 	Stats = core.Stats
 	// PruneMode selects transient (exact) or destructive (paper-literal)
@@ -112,19 +128,77 @@ const (
 func NewTreeBuilder() *TreeBuilder { return tree.NewBuilder() }
 
 // Insert runs the paper's O(bn²) optimal buffer insertion.
+//
+// Deprecated: construct a Solver (NewSolver with WithLibrary, WithDriver,
+// WithPruneMode) and call Solver.Run, which adds context cancellation and
+// reuses warm engines across runs. Insert remains as a thin wrapper.
 func Insert(t *Tree, lib Library, opt Options) (*Result, error) {
-	return core.Insert(t, lib, opt)
+	s, err := NewSolver(
+		WithLibrary(lib),
+		WithDriver(opt.Driver),
+		WithPruneMode(opt.Prune),
+		WithCheckInvariants(opt.CheckInvariants),
+	)
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	nr, err := s.Run(context.Background(), t)
+	if err != nil {
+		return nil, err
+	}
+	return legacyResult(nr), nil
 }
 
 // InsertLillis runs the Lillis–Cheng–Lin O(b²n²) baseline (no inverter
 // support). Same optimum as Insert; quadratic in the library size.
-func InsertLillis(t *Tree, lib Library, drv Driver) (*lillis.Result, error) {
-	return lillis.Insert(t, lib, drv)
+//
+// Deprecated: use NewSolver with WithAlgorithm(AlgoLillis) and Solver.Run.
+// InsertLillis remains as a thin wrapper.
+func InsertLillis(t *Tree, lib Library, drv Driver) (*LillisResult, error) {
+	s, err := NewSolver(WithLibrary(lib), WithDriver(drv), WithAlgorithm(AlgoLillis))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	nr, err := s.Run(context.Background(), t)
+	if err != nil {
+		return nil, err
+	}
+	return &LillisResult{
+		Slack:      nr.Slack,
+		Placement:  nr.Placement,
+		Candidates: nr.Candidates,
+		Stats: lillis.Stats{
+			Positions:     nr.Stats.Positions,
+			MaxListLen:    nr.Stats.MaxListLen,
+			SumListLen:    nr.Stats.SumListLen,
+			BetasInserted: nr.Stats.BetasKept,
+		},
+	}, nil
 }
 
 // InsertVanGinneken runs the classic single-type O(n²) algorithm.
-func InsertVanGinneken(t *Tree, buf Buffer, drv Driver) (*vanginneken.Result, error) {
-	return vanginneken.Insert(t, buf, drv)
+//
+// Deprecated: use NewSolver with WithAlgorithm(AlgoVanGinneken) — and a
+// one-type library — and Solver.Run. InsertVanGinneken remains as a thin
+// wrapper.
+func InsertVanGinneken(t *Tree, buf Buffer, drv Driver) (*VanGinnekenResult, error) {
+	s, err := NewSolver(WithLibrary(Library{buf}), WithDriver(drv), WithAlgorithm(AlgoVanGinneken))
+	if err != nil {
+		return nil, err
+	}
+	defer s.Close()
+	nr, err := s.Run(context.Background(), t)
+	if err != nil {
+		return nil, err
+	}
+	return &VanGinnekenResult{
+		Slack:      nr.Slack,
+		Placement:  nr.Placement,
+		Candidates: nr.Candidates,
+		MaxListLen: nr.Stats.MaxListLen,
+	}, nil
 }
 
 // Evaluate computes exact Elmore timing of a placement — the oracle Insert
@@ -138,8 +212,29 @@ func NewPlacement(n int) Placement { return delay.NewPlacement(n) }
 
 // CostSlackPareto computes the buffer-cost versus slack trade-off frontier
 // (the paper's cost-reduction application).
+//
+// Deprecated: use NewSolver with WithAlgorithm(AlgoCostSlack) and
+// Solver.Run; NetResult.Frontier carries the frontier. CostSlackPareto
+// remains as a thin wrapper.
 func CostSlackPareto(t *Tree, lib Library, opt CostOptions) ([]CostSlackPoint, error) {
-	return costopt.Pareto(t, lib, opt)
+	if opt.NoCrossLevelPrune {
+		// The ablation switch has no Solver option; take the direct path.
+		return costopt.Pareto(t, lib, opt)
+	}
+	s, err := NewSolver(
+		WithLibrary(lib),
+		WithDriver(opt.Driver),
+		WithAlgorithm(AlgoCostSlack),
+		WithMaxCost(opt.MaxCost),
+	)
+	if err != nil {
+		return nil, err
+	}
+	nr, err := s.Run(context.Background(), t)
+	if err != nil {
+		return nil, err
+	}
+	return nr.Frontier, nil
 }
 
 // GenerateLibrary builds a graded library of the given size spanning the

@@ -4,22 +4,32 @@
 // Usage:
 //
 //	bufopt -net design.net [-lib lib.buf | -gen-lib 16] [flags]
-//	bufopt -batch designs/ -gen-lib 16 -j 8
+//	bufopt -batch designs/ -gen-lib 16 -j 8 [-algo new]
 //
-// The net format is documented in the repository README and in the internal
-// netlist package; see testdata/ for samples. The tool prints the optimal
-// slack, the buffer count and runtime, and optionally the placement. In
-// batch mode every *.net file in the directory is optimized concurrently by
-// bufferkit.InsertBatch on -j workers (default GOMAXPROCS).
+// The net and library formats are documented in the repository README and
+// in the internal netlist package; see testdata/ for samples. The tool
+// prints the optimal slack, the buffer count and runtime, and optionally
+// the placement. In batch mode every *.net file in the directory is
+// optimized concurrently by a bufferkit.Solver on -j workers (default
+// GOMAXPROCS), with one line streamed per net as it completes.
+//
+// -algo selects any algorithm registered with the bufferkit facade
+// ("new", "lillis", "vanginneken"/"vg", "costslack"). Ctrl-C cancels a
+// run gracefully: in-flight nets stop at the next per-vertex checkpoint
+// and completed results are still reported.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"sort"
+	"strings"
+	"syscall"
 	"time"
 
 	"bufferkit"
@@ -32,24 +42,28 @@ func main() {
 		jobs      = flag.Int("j", 0, "batch worker count (0 = GOMAXPROCS)")
 		libPath   = flag.String("lib", "", "buffer library file")
 		genLib    = flag.Int("gen-lib", 0, "generate a paper-range library of this size instead of -lib")
-		algo      = flag.String("algo", "new", "algorithm: new (O(bn²)), lillis (O(b²n²)), vg (1 type, O(n²))")
+		algo      = flag.String("algo", bufferkit.AlgoNew, "algorithm: "+strings.Join(bufferkit.Algorithms(), ", ")+" (vg = vanginneken)")
 		prune     = flag.String("prune", "transient", "convex pruning for -algo new: transient (exact) or destructive (paper-literal)")
 		placement = flag.Bool("placement", false, "print the buffer placement")
 		verify    = flag.Bool("verify", true, "re-check the result against the exact Elmore oracle")
 	)
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancel the context; the solvers abort at their next
+	// per-vertex checkpoint and bufopt exits after reporting what finished.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	switch {
 	case *batchDir != "" && *netPath != "":
 		err = fmt.Errorf("-net and -batch are mutually exclusive")
-	case *batchDir != "" && *algo != "new":
-		err = fmt.Errorf("-batch supports only -algo new, got %q", *algo)
 	case *batchDir != "" && *placement:
 		err = fmt.Errorf("-placement is not supported with -batch")
 	case *batchDir != "":
-		err = runBatch(os.Stdout, *batchDir, *libPath, *genLib, *prune, *jobs, *verify)
+		err = runBatch(ctx, os.Stdout, *batchDir, *libPath, *genLib, *algo, *prune, *jobs, *verify)
 	default:
-		err = run(*netPath, *libPath, *genLib, *algo, *prune, *placement, *verify)
+		err = run(ctx, *netPath, *libPath, *genLib, *algo, *prune, *placement, *verify)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bufopt:", err)
@@ -85,7 +99,39 @@ func parsePrune(prune string) (bufferkit.PruneMode, error) {
 	return 0, fmt.Errorf("unknown -prune %q", prune)
 }
 
-func run(netPath, libPath string, genLib int, algo, prune string, placement, verify bool) error {
+// parseAlgo resolves the -algo flag against the algorithm registry,
+// accepting "vg" as the historical alias for "vanginneken".
+func parseAlgo(algo string) (string, error) {
+	if algo == "vg" {
+		algo = bufferkit.AlgoVanGinneken
+	}
+	for _, name := range bufferkit.Algorithms() {
+		if name == algo {
+			return algo, nil
+		}
+	}
+	return "", fmt.Errorf("unknown -algo %q (have %s)", algo, strings.Join(bufferkit.Algorithms(), ", "))
+}
+
+// newSolver assembles the Solver all bufopt modes share.
+func newSolver(lib bufferkit.Library, algo, prune string, extra ...bufferkit.Option) (*bufferkit.Solver, error) {
+	name, err := parseAlgo(algo)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := parsePrune(prune)
+	if err != nil {
+		return nil, err
+	}
+	opts := append([]bufferkit.Option{
+		bufferkit.WithLibrary(lib),
+		bufferkit.WithAlgorithm(name),
+		bufferkit.WithPruneMode(mode),
+	}, extra...)
+	return bufferkit.NewSolver(opts...)
+}
+
+func run(ctx context.Context, netPath, libPath string, genLib int, algo, prune string, placement, verify bool) error {
 	if netPath == "" {
 		return fmt.Errorf("-net is required")
 	}
@@ -103,60 +149,45 @@ func run(netPath, libPath string, genLib int, algo, prune string, placement, ver
 	if err != nil {
 		return err
 	}
+	solver, err := newSolver(lib, algo, prune, bufferkit.WithDriver(net.Driver))
+	if err != nil {
+		return err
+	}
+	defer solver.Close()
 
 	t := net.Tree
-	fmt.Printf("net: %s  (%d vertices, %d sinks, %d buffer positions, %d buffer types)\n",
-		orDefault(net.Name, netPath), t.Len(), t.NumSinks(), t.NumBufferPositions(), len(lib))
+	fmt.Printf("net: %s  (%d vertices, %d sinks, %d buffer positions, %d buffer types, algo %s)\n",
+		orDefault(net.Name, netPath), t.Len(), t.NumSinks(), t.NumBufferPositions(), len(lib), solver.Algorithm())
 
-	var (
-		slack float64
-		plc   bufferkit.Placement
-	)
 	start := time.Now()
-	switch algo {
-	case "new":
-		opt := bufferkit.Options{Driver: net.Driver}
-		if opt.Prune, err = parsePrune(prune); err != nil {
-			return err
-		}
-		res, err := bufferkit.Insert(t, lib, opt)
-		if err != nil {
-			return err
-		}
-		slack, plc = res.Slack, res.Placement
+	res, err := solver.Run(ctx, t)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	switch solver.Algorithm() {
+	case bufferkit.AlgoNew:
 		fmt.Printf("stats: max list %d, avg hull %.1f, betas kept %d/%d\n",
 			res.Stats.MaxListLen,
 			avg(res.Stats.SumHullLen, res.Stats.Positions),
 			res.Stats.BetasKept, res.Stats.BetasGenerated)
-	case "lillis":
-		res, err := bufferkit.InsertLillis(t, lib, net.Driver)
-		if err != nil {
-			return err
+	case bufferkit.AlgoCostSlack:
+		fmt.Println("cost–slack frontier:")
+		for _, p := range res.Frontier {
+			fmt.Printf("  cost %4d  slack %12.4f ps  buffers %4d\n", p.Cost, p.Slack, p.Placement.Count())
 		}
-		slack, plc = res.Slack, res.Placement
-	case "vg":
-		if len(lib) != 1 {
-			return fmt.Errorf("-algo vg needs a single-type library, got %d types", len(lib))
-		}
-		res, err := bufferkit.InsertVanGinneken(t, lib[0], net.Driver)
-		if err != nil {
-			return err
-		}
-		slack, plc = res.Slack, res.Placement
-	default:
-		return fmt.Errorf("unknown -algo %q", algo)
 	}
-	elapsed := time.Since(start)
 
 	unbuf, err := bufferkit.Evaluate(t, lib, bufferkit.NewPlacement(t.Len()), net.Driver)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("slack: %.4f ps (unbuffered %.4f ps, improvement %.4f ps)\n", slack, unbuf.Slack, slack-unbuf.Slack)
-	fmt.Printf("buffers: %d   cost: %d   runtime: %s\n", plc.Count(), plc.Cost(lib), elapsed)
+	fmt.Printf("slack: %.4f ps (unbuffered %.4f ps, improvement %.4f ps)\n", res.Slack, unbuf.Slack, res.Slack-unbuf.Slack)
+	fmt.Printf("buffers: %d   cost: %d   runtime: %s\n", res.Placement.Count(), res.Placement.Cost(lib), elapsed)
 
 	if verify {
-		chk, err := verifyPlacement(t, lib, plc, slack, net.Driver)
+		chk, err := verifyPlacement(t, lib, res.Placement, res.Slack, net.Driver)
 		if err != nil {
 			return err
 		}
@@ -167,7 +198,7 @@ func run(netPath, libPath string, genLib int, algo, prune string, placement, ver
 	}
 
 	if placement {
-		for v, b := range plc {
+		for v, b := range res.Placement {
 			if b != bufferkit.NoBuffer {
 				name := t.Verts[v].Name
 				if name == "" {
@@ -181,13 +212,11 @@ func run(netPath, libPath string, genLib int, algo, prune string, placement, ver
 }
 
 // runBatch optimizes every *.net file in dir concurrently via
-// bufferkit.InsertBatch, printing one summary line per net plus totals.
-func runBatch(w io.Writer, dir, libPath string, genLib int, prune string, jobs int, verify bool) error {
+// Solver.Stream, printing one summary line per net as it completes plus
+// totals. Cancellation (Ctrl-C) stops cleanly: completed nets stay
+// reported and the totals line says how far the batch got.
+func runBatch(ctx context.Context, w io.Writer, dir, libPath string, genLib int, algo, prune string, jobs int, verify bool) error {
 	lib, err := loadLibrary(libPath, genLib)
-	if err != nil {
-		return err
-	}
-	mode, err := parsePrune(prune)
 	if err != nil {
 		return err
 	}
@@ -217,33 +246,30 @@ func runBatch(w io.Writer, dir, libPath string, genLib int, prune string, jobs i
 		drivers[i] = nets[i].Driver
 	}
 
-	start := time.Now()
-	results, batchErr := bufferkit.InsertBatch(trees, lib, bufferkit.BatchOptions{
-		Drivers: drivers,
-		Prune:   mode,
-		Workers: jobs,
-	})
-	elapsed := time.Since(start)
-
-	insertErrs := map[int]error{}
-	if be, ok := batchErr.(*bufferkit.BatchError); ok {
-		insertErrs = be.Errs
-	} else if batchErr != nil {
-		return batchErr
+	solver, err := newSolver(lib, algo, prune,
+		bufferkit.WithDrivers(drivers),
+		bufferkit.WithWorkers(jobs),
+	)
+	if err != nil {
+		return err
 	}
 
 	buffers := 0
 	done := 0
 	failed := 0
-	for i, res := range results {
-		name := orDefault(nets[i].Name, paths[i])
-		if res == nil {
-			fmt.Fprintf(w, "%-24s FAILED: %v\n", name, insertErrs[i])
+	start := time.Now()
+	for res, err := range solver.Stream(ctx, trees) {
+		if res.Index < 0 {
+			return err
+		}
+		name := orDefault(nets[res.Index].Name, paths[res.Index])
+		if err != nil {
+			fmt.Fprintf(w, "%-24s FAILED: %v\n", name, err)
 			failed++
 			continue
 		}
 		if verify {
-			if _, err := verifyPlacement(trees[i], lib, res.Placement, res.Slack, drivers[i]); err != nil {
+			if _, err := verifyPlacement(trees[res.Index], lib, res.Placement, res.Slack, drivers[res.Index]); err != nil {
 				fmt.Fprintf(w, "%-24s FAILED: %v\n", name, err)
 				failed++
 				continue
@@ -254,8 +280,12 @@ func runBatch(w io.Writer, dir, libPath string, genLib int, prune string, jobs i
 		buffers += res.Placement.Count()
 		done++
 	}
+	elapsed := time.Since(start)
 	fmt.Fprintf(w, "batch: %d/%d nets, %d buffers, %s total (%.2f nets/s)\n",
 		done, len(paths), buffers, elapsed, float64(done)/elapsed.Seconds())
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("canceled after %d of %d nets: %w", done+failed, len(paths), err)
+	}
 	if failed > 0 {
 		return fmt.Errorf("%d of %d nets failed", failed, len(paths))
 	}

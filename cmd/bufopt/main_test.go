@@ -1,15 +1,21 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
+
+	"bufferkit"
 )
 
 const testdata = "../../testdata/"
 
+func bg() context.Context { return context.Background() }
+
 func TestRunBatchDirectory(t *testing.T) {
 	var out strings.Builder
-	if err := runBatch(&out, testdata, "", 8, "transient", 2, true); err != nil {
+	if err := runBatch(bg(), &out, testdata, "", 8, "new", "transient", 2, true); err != nil {
 		t.Fatal(err)
 	}
 	got := out.String()
@@ -20,6 +26,35 @@ func TestRunBatchDirectory(t *testing.T) {
 	}
 }
 
+// TestRunBatchAllAlgorithms: batch mode now dispatches through the
+// algorithm registry, so every multi-type-capable algorithm works.
+func TestRunBatchAllAlgorithms(t *testing.T) {
+	for _, algo := range []string{"lillis", "costslack"} {
+		var out strings.Builder
+		if err := runBatch(bg(), &out, testdata, "", 8, algo, "transient", 2, true); err != nil {
+			t.Fatalf("%s: %v\n%s", algo, err, out.String())
+		}
+		if !strings.Contains(out.String(), "batch: 2/2 nets") {
+			t.Fatalf("%s: incomplete batch:\n%s", algo, out.String())
+		}
+	}
+}
+
+// TestRunBatchCanceled: a pre-canceled context stops the batch before any
+// net completes and surfaces the cancellation as an error.
+func TestRunBatchCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg())
+	cancel()
+	var out strings.Builder
+	err := runBatch(ctx, &out, testdata, "", 8, "new", "transient", 2, false)
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if !strings.Contains(out.String(), "batch: 0/2 nets") {
+		t.Fatalf("canceled batch still completed nets:\n%s", out.String())
+	}
+}
+
 func TestRunBatchErrors(t *testing.T) {
 	var out strings.Builder
 	cases := []struct {
@@ -27,9 +62,18 @@ func TestRunBatchErrors(t *testing.T) {
 		err  string
 		f    func() error
 	}{
-		{"empty dir", "no *.net files", func() error { return runBatch(&out, "..", "", 8, "transient", 0, false) }},
-		{"bad prune", "unknown -prune", func() error { return runBatch(&out, testdata, "", 8, "nope", 0, false) }},
-		{"no library", "provide -lib", func() error { return runBatch(&out, testdata, "", 0, "transient", 0, false) }},
+		{"empty dir", "no *.net files", func() error {
+			return runBatch(bg(), &out, "..", "", 8, "new", "transient", 0, false)
+		}},
+		{"bad prune", "unknown -prune", func() error {
+			return runBatch(bg(), &out, testdata, "", 8, "new", "nope", 0, false)
+		}},
+		{"bad algo", "unknown -algo", func() error {
+			return runBatch(bg(), &out, testdata, "", 8, "nope", "transient", 0, false)
+		}},
+		{"no library", "provide -lib", func() error {
+			return runBatch(bg(), &out, testdata, "", 0, "new", "transient", 0, false)
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -42,25 +86,37 @@ func TestRunBatchErrors(t *testing.T) {
 }
 
 func TestRunNewAlgorithm(t *testing.T) {
-	if err := run(testdata+"random12.net", testdata+"lib8.buf", 0, "new", "transient", true, true); err != nil {
+	if err := run(bg(), testdata+"random12.net", testdata+"lib8.buf", 0, "new", "transient", true, true); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunAllAlgorithms(t *testing.T) {
-	for _, algo := range []string{"new", "lillis"} {
-		if err := run(testdata+"line.net", "", 8, algo, "transient", false, true); err != nil {
+	for _, algo := range []string{"new", "lillis", "costslack"} {
+		if err := run(bg(), testdata+"line.net", "", 8, algo, "transient", false, true); err != nil {
 			t.Fatalf("%s: %v", algo, err)
 		}
 	}
-	if err := run(testdata+"line.net", "", 1, "vg", "transient", false, true); err != nil {
-		t.Fatalf("vg: %v", err)
+	// Both the historical alias and the registry name reach van Ginneken.
+	for _, algo := range []string{"vg", "vanginneken"} {
+		if err := run(bg(), testdata+"line.net", "", 1, algo, "transient", false, true); err != nil {
+			t.Fatalf("%s: %v", algo, err)
+		}
 	}
 }
 
 func TestRunDestructivePrune(t *testing.T) {
-	if err := run(testdata+"line.net", "", 8, "new", "destructive", false, true); err != nil {
+	if err := run(bg(), testdata+"line.net", "", 8, "new", "destructive", false, true); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(bg())
+	cancel()
+	err := run(ctx, testdata+"line.net", "", 8, "new", "transient", false, false)
+	if err == nil || !errors.Is(err, bufferkit.ErrCanceled) {
+		t.Fatalf("err = %v, want bufferkit.ErrCanceled", err)
 	}
 }
 
@@ -70,15 +126,27 @@ func TestRunErrors(t *testing.T) {
 		err  string
 		f    func() error
 	}{
-		{"missing net", "-net is required", func() error { return run("", "", 8, "new", "transient", false, false) }},
-		{"no library", "provide -lib", func() error { return run(testdata+"line.net", "", 0, "new", "transient", false, false) }},
-		{"both libs", "mutually exclusive", func() error {
-			return run(testdata+"line.net", testdata+"lib8.buf", 4, "new", "transient", false, false)
+		{"missing net", "-net is required", func() error {
+			return run(bg(), "", "", 8, "new", "transient", false, false)
 		}},
-		{"bad algo", "unknown -algo", func() error { return run(testdata+"line.net", "", 8, "nope", "transient", false, false) }},
-		{"bad prune", "unknown -prune", func() error { return run(testdata+"line.net", "", 8, "new", "nope", false, false) }},
-		{"vg multi-type", "single-type", func() error { return run(testdata+"line.net", "", 8, "vg", "transient", false, false) }},
-		{"missing file", "no such file", func() error { return run(testdata+"missing.net", "", 8, "new", "transient", false, false) }},
+		{"no library", "provide -lib", func() error {
+			return run(bg(), testdata+"line.net", "", 0, "new", "transient", false, false)
+		}},
+		{"both libs", "mutually exclusive", func() error {
+			return run(bg(), testdata+"line.net", testdata+"lib8.buf", 4, "new", "transient", false, false)
+		}},
+		{"bad algo", "unknown -algo", func() error {
+			return run(bg(), testdata+"line.net", "", 8, "nope", "transient", false, false)
+		}},
+		{"bad prune", "unknown -prune", func() error {
+			return run(bg(), testdata+"line.net", "", 8, "new", "nope", false, false)
+		}},
+		{"vg multi-type", "single-type", func() error {
+			return run(bg(), testdata+"line.net", "", 8, "vg", "transient", false, false)
+		}},
+		{"missing file", "no such file", func() error {
+			return run(bg(), testdata+"missing.net", "", 8, "new", "transient", false, false)
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -1,0 +1,27 @@
+package bufferkit
+
+import "bufferkit/internal/solvererr"
+
+// Typed errors shared by every algorithm. Branch with errors.Is /
+// errors.As instead of matching message strings:
+//
+//	res, err := solver.Run(ctx, net)
+//	switch {
+//	case errors.Is(err, bufferkit.ErrCanceled):    // context fired mid-run
+//	case errors.Is(err, bufferkit.ErrInfeasible):  // no polarity-feasible solution
+//	}
+//	var verr *bufferkit.ValidationError
+//	if errors.As(err, &verr) { ... verr.Vertex, verr.Field ... }
+var (
+	// ErrInfeasible is wrapped by errors that mean the instance admits no
+	// polarity-feasible solution (as opposed to being malformed).
+	ErrInfeasible = solvererr.ErrInfeasible
+	// ErrCanceled is wrapped by errors caused by context cancellation.
+	ErrCanceled = solvererr.ErrCanceled
+)
+
+// ValidationError reports a malformed instance — a library type with an
+// illegal field, a sink whose polarity the library cannot serve, a vertex
+// restriction excluding every type — with vertex / library-type / field
+// detail.
+type ValidationError = solvererr.ValidationError

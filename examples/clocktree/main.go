@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -34,8 +35,15 @@ func main() {
 
 	lib := bufferkit.GenerateLibraryWithInverters(16)
 	drv := bufferkit.Driver{R: 0.15, K: 10}
+	solver, err := bufferkit.NewSolver(
+		bufferkit.WithLibrary(lib),
+		bufferkit.WithDriver(drv),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
-	res, err := bufferkit.Insert(net, lib, bufferkit.Options{Driver: drv})
+	res, err := solver.Run(context.Background(), net)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -68,7 +76,7 @@ func main() {
 	// Compare with the same tree when all sinks take the true phase: the
 	// inverted sinks cost slack because inverter pairs (or odd chains to
 	// the right sinks) must be threaded through the tree.
-	resBase, err := bufferkit.Insert(base, lib, bufferkit.Options{Driver: drv})
+	resBase, err := solver.Run(context.Background(), base)
 	if err != nil {
 		log.Fatal(err)
 	}

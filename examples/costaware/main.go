@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -21,11 +22,20 @@ func main() {
 	net := bufferkit.TwoPinNet(12000, 24, 20, 1200, bufferkit.PaperWire())
 	lib := bufferkit.GenerateLibrary(8)
 	drv := bufferkit.Driver{R: 0.3, K: 15}
-
-	frontier, err := bufferkit.CostSlackPareto(net, lib, bufferkit.CostOptions{Driver: drv})
+	solver, err := bufferkit.NewSolver(
+		bufferkit.WithLibrary(lib),
+		bufferkit.WithDriver(drv),
+		bufferkit.WithAlgorithm(bufferkit.AlgoCostSlack),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	res, err := solver.Run(context.Background(), net)
+	if err != nil {
+		log.Fatal(err)
+	}
+	frontier := res.Frontier
 
 	fmt.Println("cost  slack_ps  buffers  marginal_ps_per_cost")
 	prev := frontier[0]

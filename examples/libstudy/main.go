@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -21,41 +22,47 @@ func main() {
 	}
 	drv := bufferkit.Driver{R: 0.2, K: 15}
 
+	// One Solver per algorithm, library swapped per round: the registry
+	// makes the baseline comparison a one-option change.
+	ctx := context.Background()
+	solve := func(lib bufferkit.Library, algo string) (*bufferkit.NetResult, time.Duration) {
+		s, err := bufferkit.NewSolver(
+			bufferkit.WithLibrary(lib),
+			bufferkit.WithDriver(drv),
+			bufferkit.WithAlgorithm(algo),
+		)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer s.Close()
+		t0 := time.Now()
+		res, err := s.Run(ctx, net)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res, time.Since(t0)
+	}
+
 	fmt.Println("-- growing the library (slack is monotone, runtime is not quadratic in b) --")
 	fmt.Println("b   slack_ps   new_ms   lillis_ms")
 	full := bufferkit.GenerateLibrary(64)
 	for _, b := range []int{1, 2, 4, 8, 16, 32, 64} {
 		lib := bufferkit.GenerateLibrary(b)
-		t0 := time.Now()
-		res, err := bufferkit.Insert(net, lib, bufferkit.Options{Driver: drv})
-		if err != nil {
-			log.Fatal(err)
-		}
-		tNew := time.Since(t0)
-		t0 = time.Now()
-		if _, err := bufferkit.InsertLillis(net, lib, drv); err != nil {
-			log.Fatal(err)
-		}
-		tLil := time.Since(t0)
+		res, tNew := solve(lib, bufferkit.AlgoNew)
+		_, tLil := solve(lib, bufferkit.AlgoLillis)
 		fmt.Printf("%-3d %9.2f %8.2f %11.2f\n",
 			b, res.Slack, tNew.Seconds()*1e3, tLil.Seconds()*1e3)
 	}
 
 	fmt.Println("\n-- clustering the 64-type library down (Alpert-style) costs slack --")
 	fmt.Println("k    slack_ps   loss_ps")
-	opt, err := bufferkit.Insert(net, full, bufferkit.Options{Driver: drv})
-	if err != nil {
-		log.Fatal(err)
-	}
+	opt, _ := solve(full, bufferkit.AlgoNew)
 	for _, k := range []int{64, 16, 8, 4, 2} {
 		red, _, err := bufferkit.ReduceLibrary(full, k)
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := bufferkit.Insert(net, red, bufferkit.Options{Driver: drv})
-		if err != nil {
-			log.Fatal(err)
-		}
+		res, _ := solve(red, bufferkit.AlgoNew)
 		fmt.Printf("%-4d %9.2f %9.2f\n", k, res.Slack, opt.Slack-res.Slack)
 	}
 	fmt.Println("\nWith O(bn²) insertion the full library is affordable, so the")

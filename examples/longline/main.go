@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -17,6 +18,13 @@ func main() {
 	lib := bufferkit.GenerateLibrary(16)
 	drv := bufferkit.Driver{R: 0.2, K: 15}
 	w := bufferkit.PaperWire()
+	solver, err := bufferkit.NewSolver(
+		bufferkit.WithLibrary(lib),
+		bufferkit.WithDriver(drv),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Println("length_um  unbuf_delay_ps  buf_delay_ps  buffers  strongest_used")
 	for _, length := range []float64{2000, 5000, 10000, 20000, 40000} {
@@ -29,7 +37,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := bufferkit.Insert(net, lib, bufferkit.Options{Driver: drv})
+		res, err := solver.Run(context.Background(), net)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -31,9 +32,17 @@ func main() {
 	net := b.MustBuild()
 
 	// A graded 16-type library spanning the paper's parameter ranges, and
-	// a mid-strength driver.
+	// a mid-strength driver, wired into a Solver running the paper's
+	// algorithm (the default).
 	lib := bufferkit.GenerateLibrary(16)
 	drv := bufferkit.Driver{R: 0.2, K: 15}
+	solver, err := bufferkit.NewSolver(
+		bufferkit.WithLibrary(lib),
+		bufferkit.WithDriver(drv),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// How bad is it without buffers?
 	unbuf, err := bufferkit.Evaluate(net, lib, bufferkit.NewPlacement(net.Len()), drv)
@@ -43,7 +52,7 @@ func main() {
 	fmt.Printf("unbuffered slack: %8.2f ps (critical sink: vertex %d)\n", unbuf.Slack, unbuf.CriticalSink)
 
 	// Optimal buffer insertion, the paper's algorithm.
-	res, err := bufferkit.Insert(net, lib, bufferkit.Options{Driver: drv})
+	res, err := solver.Run(context.Background(), net)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -33,12 +33,14 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
 	"bufferkit/internal/candidate"
 	"bufferkit/internal/delay"
 	"bufferkit/internal/library"
+	"bufferkit/internal/solvererr"
 	"bufferkit/internal/tree"
 )
 
@@ -176,7 +178,8 @@ func (e *Engine) Reset(t *tree.Tree, lib library.Library, opt Options) error {
 	for i := range t.Verts {
 		if t.Verts[i].Kind == tree.Sink && t.Verts[i].Pol == tree.Negative {
 			if !lib.HasInverters() {
-				return fmt.Errorf("core: sink %d requires negative polarity but the library has no inverters", i)
+				return solvererr.Validation("core", "polarity",
+					"sink requires negative polarity but the library has no inverters").AtVertex(i)
 			}
 			polar = true
 		}
@@ -224,6 +227,15 @@ func (e *Engine) Release() {
 // rewound (O(1)) at entry — so Run may be called repeatedly after one
 // Reset, each call an independent run.
 func (e *Engine) Run(res *Result) error {
+	return e.RunContext(context.Background(), res)
+}
+
+// RunContext is Run under a context: the per-vertex loop polls ctx at a
+// coarse grain (every solvererr.PollMask+1 vertices) and aborts with an error
+// wrapping solvererr.ErrCanceled when it fires. With a background context
+// the poll is a nil comparison per stride, so the warm path keeps its
+// zero-allocation steady state.
+func (e *Engine) RunContext(ctx context.Context, res *Result) error {
 	if !e.ready {
 		return errors.New("core: Run called before a successful Reset")
 	}
@@ -231,7 +243,10 @@ func (e *Engine) Run(res *Result) error {
 	e.stats = Stats{}
 	clear(e.lists)
 
-	for _, v := range e.t.PostOrder() {
+	for vi, v := range e.t.PostOrder() {
+		if vi&solvererr.PollMask == 0 && ctx.Err() != nil {
+			return solvererr.Canceled(ctx)
+		}
 		vert := &e.t.Verts[v]
 		if vert.Kind == tree.Sink {
 			s := 0
@@ -267,7 +282,7 @@ func (e *Engine) Run(res *Result) error {
 			}
 		}
 		if acc[0] == nil && acc[1] == nil {
-			return fmt.Errorf("core: subtree at vertex %d has no polarity-feasible candidates", v)
+			return solvererr.Infeasible("core: subtree at vertex %d has no polarity-feasible candidates", v)
 		}
 		if vert.BufferOK {
 			e.addBuffer(v, &acc, vert.Allowed)
@@ -283,7 +298,7 @@ func (e *Engine) Run(res *Result) error {
 
 	root := e.lists[0][0]
 	if root == nil || root.Len() == 0 {
-		return errors.New("core: no polarity-feasible solution at the source")
+		return solvererr.Infeasible("core: no polarity-feasible solution at the source")
 	}
 	e.stats.Decisions = e.arena.NumDecisions()
 

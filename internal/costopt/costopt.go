@@ -13,13 +13,13 @@
 package costopt
 
 import (
-	"errors"
-	"fmt"
+	"context"
 	"sort"
 
 	"bufferkit/internal/candidate"
 	"bufferkit/internal/delay"
 	"bufferkit/internal/library"
+	"bufferkit/internal/solvererr"
 	"bufferkit/internal/tree"
 )
 
@@ -45,20 +45,28 @@ type Point struct {
 // Pareto computes the cost–slack frontier, sorted by increasing cost with
 // strictly increasing slack.
 func Pareto(t *tree.Tree, lib library.Library, opt Options) ([]Point, error) {
+	return ParetoContext(context.Background(), t, lib, opt)
+}
+
+// ParetoContext is Pareto under a context: the per-vertex loop polls ctx at
+// a coarse grain and aborts with an error wrapping solvererr.ErrCanceled
+// when it fires.
+func ParetoContext(ctx context.Context, t *tree.Tree, lib library.Library, opt Options) ([]Point, error) {
 	if err := lib.Validate(); err != nil {
 		return nil, err
 	}
 	if lib.HasInverters() {
-		return nil, errors.New("costopt: inverting types not supported")
+		return nil, solvererr.Validation("costopt", "library", "inverting types not supported")
 	}
 	for i := range t.Verts {
 		if t.Verts[i].Kind == tree.Sink && t.Verts[i].Pol == tree.Negative {
-			return nil, fmt.Errorf("costopt: sink %d requires negative polarity; library has no inverters", i)
+			return nil, solvererr.Validation("costopt", "polarity",
+				"sink requires negative polarity; library has no inverters").AtVertex(i)
 		}
 	}
 
 	e := &engine{
-		t: t, lib: lib, opt: opt,
+		t: t, lib: lib, opt: opt, ctx: ctx,
 		arena:   candidate.NewArena(),
 		orderR:  lib.ByRDesc(),
 		cinRank: make([]int, len(lib)),
@@ -86,6 +94,7 @@ type engine struct {
 	t       *tree.Tree
 	lib     library.Library
 	opt     Options
+	ctx     context.Context
 	arena   *candidate.Arena
 	orderR  []int
 	cinRank []int
@@ -93,7 +102,10 @@ type engine struct {
 
 func (e *engine) run() ([]Point, error) {
 	lists := make([]levels, e.t.Len())
-	for _, v := range e.t.PostOrder() {
+	for vi, v := range e.t.PostOrder() {
+		if vi&solvererr.PollMask == 0 && e.ctx.Err() != nil {
+			return nil, solvererr.Canceled(e.ctx)
+		}
 		vert := &e.t.Verts[v]
 		if vert.Kind == tree.Sink {
 			lists[v] = levels{0: e.arena.NewSink(vert.RAT, vert.Cap, v)}

@@ -12,6 +12,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"bufferkit/internal/solvererr"
 )
 
 // Buffer is one buffer (or inverter) type.
@@ -39,23 +41,24 @@ func (b Buffer) Delay(cdown float64) float64 { return b.K + b.R*cdown }
 type Library []Buffer
 
 // Validate checks that every type has positive R and Cin, nonnegative K and
-// Cost, and a nonempty library.
+// Cost, and a nonempty library. Failures are *solvererr.ValidationError
+// values carrying the offending type index and field.
 func (l Library) Validate() error {
 	if len(l) == 0 {
-		return fmt.Errorf("library: empty")
+		return solvererr.Validation("library", "size", "empty library")
 	}
 	for i, b := range l {
 		if !(b.R > 0) || math.IsInf(b.R, 0) || math.IsNaN(b.R) {
-			return fmt.Errorf("library: type %d (%s): driving resistance %g must be positive and finite", i, b.Name, b.R)
+			return solvererr.Validation("library", "R", "(%s) driving resistance %g must be positive and finite", b.Name, b.R).AtType(i)
 		}
 		if !(b.Cin > 0) || math.IsInf(b.Cin, 0) || math.IsNaN(b.Cin) {
-			return fmt.Errorf("library: type %d (%s): input capacitance %g must be positive and finite", i, b.Name, b.Cin)
+			return solvererr.Validation("library", "Cin", "(%s) input capacitance %g must be positive and finite", b.Name, b.Cin).AtType(i)
 		}
 		if b.K < 0 || math.IsInf(b.K, 0) || math.IsNaN(b.K) {
-			return fmt.Errorf("library: type %d (%s): intrinsic delay %g must be nonnegative and finite", i, b.Name, b.K)
+			return solvererr.Validation("library", "K", "(%s) intrinsic delay %g must be nonnegative and finite", b.Name, b.K).AtType(i)
 		}
 		if b.Cost < 0 {
-			return fmt.Errorf("library: type %d (%s): negative cost %d", i, b.Name, b.Cost)
+			return solvererr.Validation("library", "Cost", "(%s) negative cost %d", b.Name, b.Cost).AtType(i)
 		}
 	}
 	return nil

@@ -13,12 +13,12 @@
 package lillis
 
 import (
-	"errors"
-	"fmt"
+	"context"
 
 	"bufferkit/internal/candidate"
 	"bufferkit/internal/delay"
 	"bufferkit/internal/library"
+	"bufferkit/internal/solvererr"
 	"bufferkit/internal/tree"
 )
 
@@ -80,15 +80,23 @@ func (e *Engine) Insert(t *tree.Tree, lib library.Library, drv delay.Driver) (*R
 // Run is Insert writing into a caller-owned Result, reusing res.Placement
 // when its capacity suffices. A warm engine runs allocation-free.
 func (e *Engine) Run(t *tree.Tree, lib library.Library, drv delay.Driver, res *Result) error {
+	return e.RunContext(context.Background(), t, lib, drv, res)
+}
+
+// RunContext is Run under a context: the per-vertex loop polls ctx at a
+// coarse grain and aborts with an error wrapping solvererr.ErrCanceled
+// when it fires.
+func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, lib library.Library, drv delay.Driver, res *Result) error {
 	if err := lib.Validate(); err != nil {
 		return err
 	}
 	if lib.HasInverters() {
-		return errors.New("lillis: inverting types not supported; use internal/core")
+		return solvererr.Validation("lillis", "library", "inverting types not supported; use internal/core")
 	}
 	for i := range t.Verts {
 		if t.Verts[i].Kind == tree.Sink && t.Verts[i].Pol == tree.Negative {
-			return fmt.Errorf("lillis: sink %d requires negative polarity; library has no inverters", i)
+			return solvererr.Validation("lillis", "polarity",
+				"sink requires negative polarity; library has no inverters").AtVertex(i)
 		}
 	}
 
@@ -101,7 +109,10 @@ func (e *Engine) Run(t *tree.Tree, lib library.Library, drv delay.Driver, res *R
 	res.Stats = Stats{}
 
 	lists := e.lists
-	for _, v := range t.PostOrder() {
+	for vi, v := range t.PostOrder() {
+		if vi&solvererr.PollMask == 0 && ctx.Err() != nil {
+			return solvererr.Canceled(ctx)
+		}
 		vert := &t.Verts[v]
 		if vert.Kind == tree.Sink {
 			lists[v] = e.arena.NewSink(vert.RAT, vert.Cap, v)

@@ -8,12 +8,12 @@
 package vanginneken
 
 import (
-	"errors"
-	"fmt"
+	"context"
 
 	"bufferkit/internal/candidate"
 	"bufferkit/internal/delay"
 	"bufferkit/internal/library"
+	"bufferkit/internal/solvererr"
 	"bufferkit/internal/tree"
 )
 
@@ -38,26 +38,38 @@ type cand struct {
 // Insert computes optimal buffer insertion on t with the single buffer type
 // buf and driver drv.
 func Insert(t *tree.Tree, buf library.Buffer, drv delay.Driver) (*Result, error) {
+	return InsertContext(context.Background(), t, buf, drv)
+}
+
+// InsertContext is Insert under a context: the per-vertex loop polls ctx at
+// a coarse grain and aborts with an error wrapping solvererr.ErrCanceled
+// when it fires.
+func InsertContext(ctx context.Context, t *tree.Tree, buf library.Buffer, drv delay.Driver) (*Result, error) {
 	if err := (library.Library{buf}).Validate(); err != nil {
 		return nil, err
 	}
 	if buf.Inverting {
-		return nil, errors.New("vanginneken: single-type algorithm cannot use an inverter")
+		return nil, solvererr.Validation("vanginneken", "library", "single-type algorithm cannot use an inverter")
 	}
 	for i := range t.Verts {
 		v := &t.Verts[i]
 		if v.Kind == tree.Sink && v.Pol == tree.Negative {
-			return nil, fmt.Errorf("vanginneken: sink %d requires negative polarity; library has no inverters", i)
+			return nil, solvererr.Validation("vanginneken", "polarity",
+				"sink requires negative polarity; library has no inverters").AtVertex(i)
 		}
 		if v.BufferOK && len(v.Allowed) > 0 && !allows(v.Allowed, 0) {
-			return nil, fmt.Errorf("vanginneken: vertex %d restricts away the only buffer type", i)
+			return nil, solvererr.Validation("vanginneken", "allowed",
+				"vertex restricts away the only buffer type").AtVertex(i)
 		}
 	}
 
 	ar := candidate.NewArena()
 	res := &Result{Placement: delay.NewPlacement(t.Len())}
 	lists := make([][]cand, t.Len())
-	for _, v := range t.PostOrder() {
+	for vi, v := range t.PostOrder() {
+		if vi&solvererr.PollMask == 0 && ctx.Err() != nil {
+			return nil, solvererr.Canceled(ctx)
+		}
 		vert := &t.Verts[v]
 		if vert.Kind == tree.Sink {
 			lists[v] = []cand{{q: vert.RAT, c: vert.Cap, dec: ar.SinkDec(v)}}

@@ -1,0 +1,165 @@
+package bufferkit
+
+import (
+	"context"
+	"errors"
+	"iter"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"bufferkit/internal/solvererr"
+)
+
+// Stream runs the solver over every net concurrently on a worker pool and
+// yields each net's outcome as soon as it completes — results arrive in
+// completion order, not input order; NetResult.Index identifies the net.
+// The second sequence value is that net's error (nil on success), so a
+// million-net run can report progress, surface per-net failures
+// immediately, and stop early.
+//
+// Breaking out of the loop, or cancellation of ctx, stops the workers and
+// releases their engines before the iterator returns — no goroutines
+// outlive the loop. After cancellation the sequence ends without yielding
+// the unprocessed nets; RunBatch is the collecting wrapper that also
+// reports the cancellation as an error.
+//
+// Configuration errors (a WithDrivers length mismatch) are yielded once
+// with Index = -1 before the sequence ends.
+func (s *Solver) Stream(ctx context.Context, nets []*Tree) iter.Seq2[NetResult, error] {
+	return func(yield func(NetResult, error) bool) {
+		if s.drivers != nil && len(s.drivers) != len(nets) {
+			yield(NetResult{Index: -1}, solvererr.Validation("bufferkit", "drivers",
+				"batch has %d per-net drivers for %d nets", len(s.drivers), len(nets)))
+			return
+		}
+		if len(nets) == 0 {
+			return
+		}
+		ctx, cancel := context.WithCancel(ctx)
+		defer cancel()
+
+		workers := s.workers
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		if workers > len(nets) {
+			workers = len(nets)
+		}
+
+		type item struct {
+			res NetResult
+			err error
+		}
+		ch := make(chan item, workers)
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for w := 0; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				algo := s.factory()
+				if r, ok := algo.(releaser); ok {
+					defer r.release()
+				}
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(nets) || ctx.Err() != nil {
+						return
+					}
+					cfg := s.cfg
+					if s.drivers != nil {
+						cfg.Driver = s.drivers[i]
+					}
+					nr, err := algo.Solve(ctx, nets[i], cfg)
+					it := item{err: err}
+					if err != nil {
+						// A genuine cancellation abort is not a per-net
+						// outcome; the worker just stops. An algorithm
+						// returning ErrCanceled while ctx is still alive
+						// (a third-party per-net timeout, say) stays a
+						// per-net failure.
+						if errors.Is(err, ErrCanceled) && ctx.Err() != nil {
+							return
+						}
+						it.res = NetResult{Index: i}
+					} else {
+						nr.Index = i
+						it.res = *nr
+					}
+					// Try a non-blocking send first: a result that is
+					// already computed should reach the consumer even if
+					// cancellation races in, so "completed so far" stays
+					// deterministic for finished work.
+					select {
+					case ch <- it:
+					default:
+						select {
+						case ch <- it:
+						case <-ctx.Done():
+							return
+						}
+					}
+				}
+			}()
+		}
+		go func() {
+			wg.Wait()
+			close(ch)
+		}()
+		// On any exit — consumer break, cancellation, or normal drain —
+		// stop the workers and wait for them via channel close, so the
+		// iterator never leaks a goroutine past its return.
+		defer func() {
+			cancel()
+			for range ch {
+			}
+		}()
+		for it := range ch {
+			if !yield(it.res, it.err) {
+				return
+			}
+		}
+	}
+}
+
+// RunBatch is the collecting wrapper over Stream: it solves every net and
+// returns results positionally aligned with nets — identical to running
+// Run sequentially on each (the algorithms are deterministic and workers
+// share nothing).
+//
+// If ctx is canceled mid-run, RunBatch returns promptly with the results
+// completed so far and an error wrapping ErrCanceled. If individual nets
+// fail, the error is a *BatchError naming each one and the result slice
+// holds nil at the failed indices.
+func (s *Solver) RunBatch(ctx context.Context, nets []*Tree) ([]*NetResult, error) {
+	results := make([]*NetResult, len(nets))
+	var failed map[int]error
+	for nr, err := range s.Stream(ctx, nets) {
+		if err != nil {
+			if nr.Index < 0 {
+				return nil, err
+			}
+			if failed == nil {
+				failed = map[int]error{}
+			}
+			failed[nr.Index] = err
+			continue
+		}
+		r := nr
+		results[r.Index] = &r
+	}
+	if ctx.Err() != nil {
+		canceled := solvererr.Canceled(ctx)
+		if len(failed) > 0 {
+			// Keep the per-net failures observable (errors.As still finds
+			// the *BatchError) alongside the cancellation.
+			return results, errors.Join(canceled, &BatchError{Errs: failed})
+		}
+		return results, canceled
+	}
+	if len(failed) > 0 {
+		return results, &BatchError{Errs: failed}
+	}
+	return results, nil
+}
