@@ -1,0 +1,100 @@
+// Command bufferkitd serves optimal buffer insertion over HTTP: the
+// long-running network front end physical-synthesis loops call instead of
+// shelling out to bufopt per net.
+//
+// Usage:
+//
+//	bufferkitd [-addr :8080] [-concurrency 0] [-cache 4096]
+//	           [-timeout 30s] [-max-timeout 5m] [-max-body 16777216]
+//
+// Endpoints (see internal/server for the full protocol):
+//
+//	POST /v1/solve      one net, JSON in / JSON out
+//	POST /v1/batch      many nets, JSON in / NDJSON stream out
+//	GET  /v1/algorithms algorithm registry with descriptions
+//	GET  /healthz       liveness probe
+//	GET  /metrics       expvar counters as JSON
+//
+// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight solves
+// run to completion (or their deadline), then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bufferkit/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":8080", "listen address")
+		concurrency = flag.Int("concurrency", 0, "max concurrent engine runs (0 = GOMAXPROCS)")
+		cacheSize   = flag.Int("cache", 4096, "result-cache entries (negative = disable)")
+		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request solve budget")
+		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested budgets")
+		maxBody     = flag.Int64("max-body", 16<<20, "max request body bytes")
+		maxBatch    = flag.Int("max-batch", 10000, "max nets per /v1/batch request")
+		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period")
+	)
+	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, *addr, server.Config{
+		MaxConcurrent:  *concurrency,
+		CacheEntries:   *cacheSize,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+		MaxBodyBytes:   *maxBody,
+		MaxBatchNets:   *maxBatch,
+	}, *grace); err != nil {
+		fmt.Fprintln(os.Stderr, "bufferkitd:", err)
+		os.Exit(1)
+	}
+}
+
+// run serves until ctx is canceled (SIGINT/SIGTERM in main), then drains
+// gracefully within the grace period. listening, when non-nil, receives
+// the bound address once the listener is up (used by tests binding :0).
+func run(ctx context.Context, addr string, cfg server.Config, grace time.Duration, listening ...chan<- string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           server.New(cfg).Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Printf("bufferkitd: listening on %s", ln.Addr())
+	for _, ch := range listening {
+		ch <- ln.Addr().String()
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("bufferkitd: shutting down (grace %s)", grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	log.Printf("bufferkitd: drained")
+	return nil
+}

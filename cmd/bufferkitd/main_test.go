@@ -1,0 +1,61 @@
+package main
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"bufferkit/internal/server"
+)
+
+// TestRunServesAndDrains boots the real server on a random port, checks a
+// live endpoint, then cancels the context and asserts a clean drain —
+// the full SIGTERM path minus the signal.
+func TestRunServesAndDrains(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	listening := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() {
+		done <- run(ctx, "127.0.0.1:0", server.Config{}, 5*time.Second, listening)
+	}()
+	var addr string
+	select {
+	case addr = <-listening:
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never started listening")
+	}
+
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatalf("GET /healthz: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v after graceful shutdown", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain within the grace period")
+	}
+}
+
+// TestRunBadAddr: an unbindable address fails fast instead of hanging.
+func TestRunBadAddr(t *testing.T) {
+	err := run(context.Background(), "256.256.256.256:1", server.Config{}, time.Second)
+	if err == nil {
+		t.Fatal("expected listen error")
+	}
+}

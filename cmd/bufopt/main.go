@@ -11,7 +11,7 @@
 // prints the optimal slack, the buffer count and runtime, and optionally
 // the placement. In batch mode every *.net file in the directory is
 // optimized concurrently by a bufferkit.Solver on -j workers (default
-// GOMAXPROCS), with one line streamed per net as it completes.
+// GOMAXPROCS), with one line streamed per net in sorted-path order.
 //
 // -algo selects any algorithm registered with the bufferkit facade
 // ("new", "lillis", "vanginneken"/"vg", "costslack"). Ctrl-C cancels a
@@ -63,7 +63,7 @@ func main() {
 	case *batchDir != "":
 		err = runBatch(ctx, os.Stdout, *batchDir, *libPath, *genLib, *algo, *prune, *jobs, *verify)
 	default:
-		err = run(ctx, *netPath, *libPath, *genLib, *algo, *prune, *placement, *verify)
+		err = run(ctx, os.Stdout, *netPath, *libPath, *genLib, *algo, *prune, *placement, *verify)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bufopt:", err)
@@ -131,7 +131,7 @@ func newSolver(lib bufferkit.Library, algo, prune string, extra ...bufferkit.Opt
 	return bufferkit.NewSolver(opts...)
 }
 
-func run(ctx context.Context, netPath, libPath string, genLib int, algo, prune string, placement, verify bool) error {
+func run(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, algo, prune string, placement, verify bool) error {
 	if netPath == "" {
 		return fmt.Errorf("-net is required")
 	}
@@ -156,7 +156,7 @@ func run(ctx context.Context, netPath, libPath string, genLib int, algo, prune s
 	defer solver.Close()
 
 	t := net.Tree
-	fmt.Printf("net: %s  (%d vertices, %d sinks, %d buffer positions, %d buffer types, algo %s)\n",
+	fmt.Fprintf(w, "net: %s  (%d vertices, %d sinks, %d buffer positions, %d buffer types, algo %s)\n",
 		orDefault(net.Name, netPath), t.Len(), t.NumSinks(), t.NumBufferPositions(), len(lib), solver.Algorithm())
 
 	start := time.Now()
@@ -168,14 +168,14 @@ func run(ctx context.Context, netPath, libPath string, genLib int, algo, prune s
 
 	switch solver.Algorithm() {
 	case bufferkit.AlgoNew:
-		fmt.Printf("stats: max list %d, avg hull %.1f, betas kept %d/%d\n",
+		fmt.Fprintf(w, "stats: max list %d, avg hull %.1f, betas kept %d/%d\n",
 			res.Stats.MaxListLen,
 			avg(res.Stats.SumHullLen, res.Stats.Positions),
 			res.Stats.BetasKept, res.Stats.BetasGenerated)
 	case bufferkit.AlgoCostSlack:
-		fmt.Println("cost–slack frontier:")
+		fmt.Fprintln(w, "cost–slack frontier:")
 		for _, p := range res.Frontier {
-			fmt.Printf("  cost %4d  slack %12.4f ps  buffers %4d\n", p.Cost, p.Slack, p.Placement.Count())
+			fmt.Fprintf(w, "  cost %4d  slack %12.4f ps  buffers %4d\n", p.Cost, p.Slack, p.Placement.Count())
 		}
 	}
 
@@ -183,8 +183,8 @@ func run(ctx context.Context, netPath, libPath string, genLib int, algo, prune s
 	if err != nil {
 		return err
 	}
-	fmt.Printf("slack: %.4f ps (unbuffered %.4f ps, improvement %.4f ps)\n", res.Slack, unbuf.Slack, res.Slack-unbuf.Slack)
-	fmt.Printf("buffers: %d   cost: %d   runtime: %s\n", res.Placement.Count(), res.Placement.Cost(lib), elapsed)
+	fmt.Fprintf(w, "slack: %.4f ps (unbuffered %.4f ps, improvement %.4f ps)\n", res.Slack, unbuf.Slack, res.Slack-unbuf.Slack)
+	fmt.Fprintf(w, "buffers: %d   cost: %d   runtime: %s\n", res.Placement.Count(), res.Placement.Cost(lib), elapsed)
 
 	if verify {
 		chk, err := verifyPlacement(t, lib, res.Placement, res.Slack, net.Driver)
@@ -192,8 +192,8 @@ func run(ctx context.Context, netPath, libPath string, genLib int, algo, prune s
 			return err
 		}
 		path := chk.CriticalPath(t)
-		fmt.Printf("verified: placement reproduces the reported slack under the Elmore oracle\n")
-		fmt.Printf("critical path: %d vertices to sink %d (arrival %.2f ps)\n",
+		fmt.Fprintf(w, "verified: placement reproduces the reported slack under the Elmore oracle\n")
+		fmt.Fprintf(w, "critical path: %d vertices to sink %d (arrival %.2f ps)\n",
 			len(path), chk.CriticalSink, chk.Arrival[chk.CriticalSink])
 	}
 
@@ -204,7 +204,7 @@ func run(ctx context.Context, netPath, libPath string, genLib int, algo, prune s
 				if name == "" {
 					name = fmt.Sprintf("v%d", v)
 				}
-				fmt.Printf("  %s: %s\n", name, lib[b].Name)
+				fmt.Fprintf(w, "  %s: %s\n", name, lib[b].Name)
 			}
 		}
 	}
@@ -212,9 +212,11 @@ func run(ctx context.Context, netPath, libPath string, genLib int, algo, prune s
 }
 
 // runBatch optimizes every *.net file in dir concurrently via
-// Solver.Stream, printing one summary line per net as it completes plus
-// totals. Cancellation (Ctrl-C) stops cleanly: completed nets stay
-// reported and the totals line says how far the batch got.
+// Solver.StreamOrdered, printing one summary line per net plus totals.
+// Lines appear in sorted-path order regardless of which worker finishes
+// first, so batch output is deterministic across runs. Cancellation
+// (Ctrl-C) stops cleanly: completed nets stay reported and the totals line
+// says how far the batch got.
 func runBatch(ctx context.Context, w io.Writer, dir, libPath string, genLib int, algo, prune string, jobs int, verify bool) error {
 	lib, err := loadLibrary(libPath, genLib)
 	if err != nil {
@@ -258,7 +260,7 @@ func runBatch(ctx context.Context, w io.Writer, dir, libPath string, genLib int,
 	done := 0
 	failed := 0
 	start := time.Now()
-	for res, err := range solver.Stream(ctx, trees) {
+	for res, err := range solver.StreamOrdered(ctx, trees) {
 		if res.Index < 0 {
 			return err
 		}

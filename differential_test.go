@@ -1,0 +1,127 @@
+package bufferkit
+
+// The differential test harness: a seeded corpus of small random nets on
+// which every dynamic program must agree exactly with the exponential
+// brute-force oracle. This is the strongest correctness net in the
+// repository — any systematic pruning bug, polarity mishandling, or
+// registry-adapter regression shows up here before anything else.
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"bufferkit/internal/bruteforce"
+	"bufferkit/internal/netgen"
+	"bufferkit/internal/testutil"
+	"bufferkit/internal/tree"
+)
+
+// corpusConfig is one slice of the differential corpus.
+type corpusConfig struct {
+	name string
+	// lib is the buffer library the slice runs under.
+	lib Library
+	// negProb makes some sinks require inverted polarity.
+	negProb float64
+	// seeds is how many nets the slice contributes.
+	seeds int
+	// lillis also cross-checks the Lillis O(b²n²) baseline (requires a
+	// non-inverting library and, to stay feasible, negProb = 0).
+	lillis bool
+}
+
+// TestDifferentialCorpus cross-checks the paper's O(bn²) algorithm (and,
+// where applicable, the Lillis baseline) against the brute-force oracle on
+// 300 seeded random nets spanning plain libraries, inverter libraries, and
+// mixed sink polarities. Exact slack agreement is required everywhere, and
+// every reported placement must reproduce its slack under the Elmore
+// oracle.
+func TestDifferentialCorpus(t *testing.T) {
+	const maxPositions = 6 // (b+1)^positions stays ≤ 4^6 evaluations per net
+	configs := []corpusConfig{
+		{name: "plain-1type", lib: GenerateLibrary(1), seeds: 60, lillis: true},
+		{name: "plain-3types", lib: GenerateLibrary(3), seeds: 80, lillis: true},
+		{name: "inverters", lib: GenerateLibraryWithInverters(2), seeds: 80},
+		{name: "inverters-mixed-polarity", lib: GenerateLibraryWithInverters(3), negProb: 0.5, seeds: 80},
+	}
+
+	total, infeasible, negSinks := 0, 0, 0
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(0); seed < int64(cfg.seeds); seed++ {
+				tr := netgen.RandomSmall(seed, maxPositions, cfg.negProb)
+				// Vary the driver with the seed: ideal drivers, resistive
+				// drivers, and drivers with intrinsic delay all appear.
+				rng := rand.New(rand.NewSource(seed))
+				drv := Driver{R: 0.3 * rng.Float64(), K: 20 * rng.Float64()}
+				if seed%5 == 0 {
+					drv = Driver{}
+				}
+				total++
+				for v := range tr.Verts {
+					if tr.Verts[v].Kind == tree.Sink && tr.Verts[v].Pol == Negative {
+						negSinks++
+						break
+					}
+				}
+
+				brute, err := bruteforce.Best(tr, cfg.lib, drv)
+				if err != nil {
+					t.Fatalf("seed %d: bruteforce: %v", seed, err)
+				}
+
+				solver, err := NewSolver(WithLibrary(cfg.lib), WithDriver(drv))
+				if err != nil {
+					t.Fatalf("seed %d: NewSolver: %v", seed, err)
+				}
+				res, err := solver.Run(context.Background(), tr)
+				solver.Close()
+				if !brute.Feasible {
+					infeasible++
+					if !errors.Is(err, ErrInfeasible) {
+						t.Fatalf("seed %d: oracle says infeasible; core returned %v", seed, err)
+					}
+					continue
+				}
+				if err != nil {
+					t.Fatalf("seed %d: core: %v (oracle slack %.6f)", seed, err, brute.Slack)
+				}
+				if !testutil.AlmostEqual(res.Slack, brute.Slack) {
+					t.Fatalf("seed %d: core slack %.12g != brute-force optimum %.12g (Δ=%g)",
+						seed, res.Slack, brute.Slack, res.Slack-brute.Slack)
+				}
+				testutil.CheckPlacement(t, tr, cfg.lib, res.Placement, drv, res.Slack, "core")
+
+				if cfg.lillis {
+					ls, err := NewSolver(WithLibrary(cfg.lib), WithDriver(drv), WithAlgorithm(AlgoLillis))
+					if err != nil {
+						t.Fatalf("seed %d: lillis solver: %v", seed, err)
+					}
+					lres, err := ls.Run(context.Background(), tr)
+					ls.Close()
+					if err != nil {
+						t.Fatalf("seed %d: lillis: %v", seed, err)
+					}
+					if !testutil.AlmostEqual(lres.Slack, brute.Slack) {
+						t.Fatalf("seed %d: lillis slack %.12g != brute-force optimum %.12g",
+							seed, lres.Slack, brute.Slack)
+					}
+					testutil.CheckPlacement(t, tr, cfg.lib, lres.Placement, drv, lres.Slack, "lillis")
+				}
+			}
+		})
+	}
+
+	// Corpus diversity guards: the suite must actually exercise what it
+	// claims to — ≥200 nets, some with negative sinks, and at least one
+	// polarity-infeasible instance proving the infeasible path is hit.
+	if total < 200 {
+		t.Fatalf("corpus has %d nets, want ≥ 200", total)
+	}
+	if negSinks == 0 {
+		t.Fatal("corpus never generated a negative-polarity sink")
+	}
+	t.Logf("corpus: %d nets, %d with negative sinks, %d infeasible", total, negSinks, infeasible)
+}

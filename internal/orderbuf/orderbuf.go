@@ -1,0 +1,39 @@
+// Package orderbuf provides the reorder buffer behind input-order
+// streaming: items tagged with their input index arrive in completion
+// order and are released in strictly increasing index order, holding
+// out-of-order arrivals until the gap fills. Both Solver.StreamOrdered
+// and bufferkitd's ordered NDJSON batches deliver through it, so the
+// ordering and gap semantics live in exactly one place.
+package orderbuf
+
+// Buffer releases indexed items in order 0, 1, 2, … . The zero value is
+// not ready; use New.
+type Buffer[T any] struct {
+	pending map[int]T
+	next    int
+}
+
+// New returns an empty buffer sized for about n items.
+func New[T any](n int) *Buffer[T] {
+	return &Buffer[T]{pending: make(map[int]T, n)}
+}
+
+// Add inserts item at index i, then calls emit for every item that is now
+// contiguous from the next unreleased index. It stops and returns false
+// as soon as emit does (the remaining items stay pending); otherwise it
+// returns true. Indices must be unique and ≥ 0; an index below the next
+// unreleased one is impossible by construction and would be held forever.
+func (b *Buffer[T]) Add(i int, item T, emit func(T) bool) bool {
+	b.pending[i] = item
+	for {
+		it, ok := b.pending[b.next]
+		if !ok {
+			return true
+		}
+		delete(b.pending, b.next)
+		b.next++
+		if !emit(it) {
+			return false
+		}
+	}
+}

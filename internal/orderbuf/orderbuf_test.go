@@ -1,0 +1,60 @@
+package orderbuf
+
+import (
+	"math/rand"
+	"slices"
+	"testing"
+)
+
+func TestReleasesInOrder(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(30)
+		order := rng.Perm(n)
+		b := New[int](n)
+		var got []int
+		for _, i := range order {
+			if !b.Add(i, i*10, func(v int) bool {
+				got = append(got, v)
+				return true
+			}) {
+				t.Fatal("emit never returned false")
+			}
+		}
+		if len(got) != n {
+			t.Fatalf("seed %d: released %d of %d", seed, len(got), n)
+		}
+		if !slices.IsSorted(got) {
+			t.Fatalf("seed %d: out of order: %v (arrival %v)", seed, got, order)
+		}
+	}
+}
+
+func TestStopsWhenEmitDeclines(t *testing.T) {
+	b := New[string](4)
+	emitted := 0
+	emit := func(string) bool { emitted++; return emitted < 2 }
+	// 1, 2, 3 wait for 0; adding 0 releases 0 then stops at 1.
+	for _, i := range []int{1, 2, 3} {
+		if !b.Add(i, "x", emit) {
+			t.Fatal("nothing contiguous yet; Add must return true")
+		}
+	}
+	if b.Add(0, "x", emit) {
+		t.Fatal("Add must return false once emit declines")
+	}
+	if emitted != 2 {
+		t.Fatalf("emit called %d times, want 2", emitted)
+	}
+}
+
+func TestGapHoldsLaterItems(t *testing.T) {
+	b := New[int](3)
+	var got []int
+	emit := func(v int) bool { got = append(got, v); return true }
+	b.Add(0, 0, emit)
+	b.Add(2, 2, emit) // index 1 never arrives
+	if want := []int{0}; !slices.Equal(got, want) {
+		t.Fatalf("got %v, want %v — items past a gap must stay pending", got, want)
+	}
+}

@@ -1,0 +1,49 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// benchBody builds the /v1/solve payload once.
+func benchBody(b *testing.B) []byte {
+	body, err := json.Marshal(solveRequest{
+		Net:     readTestdata(b, "line.net"),
+		Library: readTestdata(b, "lib8.buf"),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return body
+}
+
+func benchSolve(b *testing.B, cfg Config) {
+	h := New(cfg).Handler()
+	body := benchBody(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(body))
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		if rec.Code != http.StatusOK {
+			b.Fatalf("status %d: %s", rec.Code, rec.Body.String())
+		}
+	}
+}
+
+// BenchmarkServerSolve measures the full uncached request path: JSON
+// decode, net/library parse, engine run on a pooled warm engine, JSON
+// encode. Caching is disabled so every iteration solves.
+func BenchmarkServerSolve(b *testing.B) {
+	benchSolve(b, Config{CacheEntries: -1})
+}
+
+// BenchmarkServerSolveCached measures the warm cache-hit path: digest,
+// LRU lookup, JSON encode — no parsing, no engine run.
+func BenchmarkServerSolveCached(b *testing.B) {
+	benchSolve(b, Config{})
+}

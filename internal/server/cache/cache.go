@@ -1,0 +1,135 @@
+// Package cache provides the bounded LRU result cache bufferkitd puts in
+// front of the solver engines. Physical-synthesis loops resubmit the same
+// net under the same library thousands of times while they iterate on
+// neighboring nets; caching (net, library, algorithm, options) → result
+// turns those into O(1) lookups with no engine run at all.
+//
+// Keys are built from SHA-256 digests of the raw request payloads (the
+// .net and .buf texts) plus the canonicalized solve options, so the cache
+// never needs the parsed tree and a hit is decided before parsing.
+package cache
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"sync"
+	"sync/atomic"
+)
+
+// Key identifies one solve request: content digests of the net and library
+// payloads plus the canonical option string (algorithm, prune mode, max
+// cost, …). Two requests with equal Keys are guaranteed the same result —
+// every algorithm in the registry is deterministic.
+type Key struct {
+	Net     [sha256.Size]byte
+	Library [sha256.Size]byte
+	Options string
+}
+
+// NewKey digests the raw net and library payloads into a Key.
+func NewKey(net, library []byte, options string) Key {
+	return Key{Net: sha256.Sum256(net), Library: sha256.Sum256(library), Options: options}
+}
+
+// Cache is a fixed-capacity LRU map from Key to an immutable cached value.
+// It is safe for concurrent use. Stored values must not be mutated after
+// Put — concurrent Get calls hand out the same pointer.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[Key]*list.Element
+	order   *list.List // front = most recently used
+	cap     int
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	evictions atomic.Int64
+}
+
+type entry struct {
+	key Key
+	val any
+}
+
+// New creates a cache holding at most capacity entries. capacity <= 0
+// returns a disabled cache: Get always misses and Put is a no-op, so
+// callers need no nil checks to turn caching off.
+func New(capacity int) *Cache {
+	c := &Cache{cap: capacity}
+	if capacity > 0 {
+		c.entries = make(map[Key]*list.Element, capacity)
+		c.order = list.New()
+	}
+	return c
+}
+
+// Get returns the value cached under k and whether it was present, marking
+// the entry most recently used.
+func (c *Cache) Get(k Key) (any, bool) {
+	if c.cap <= 0 {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.entries[k]
+	var v any
+	if ok {
+		c.order.MoveToFront(el)
+		v = el.Value.(*entry).val
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return v, true
+}
+
+// Put stores v under k, evicting the least recently used entry when the
+// cache is full. Storing an existing key refreshes its value and recency.
+func (c *Cache) Put(k Key, v any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[k]; ok {
+		el.Value.(*entry).val = v
+		c.order.MoveToFront(el)
+		return
+	}
+	if c.order.Len() >= c.cap {
+		lru := c.order.Back()
+		c.order.Remove(lru)
+		delete(c.entries, lru.Value.(*entry).key)
+		c.evictions.Add(1)
+	}
+	c.entries[k] = c.order.PushFront(&entry{key: k, val: v})
+}
+
+// Len returns the current entry count.
+func (c *Cache) Len() int {
+	if c.cap <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats is a point-in-time counter snapshot.
+type Stats struct {
+	Hits, Misses, Evictions int64
+	Len, Cap                int
+}
+
+// Stats returns the cache's counters.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Evictions: c.evictions.Load(),
+		Len:       c.Len(),
+		Cap:       max(c.cap, 0),
+	}
+}

@@ -1,0 +1,101 @@
+package cache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func key(i int) Key {
+	return NewKey([]byte(fmt.Sprintf("net%d", i)), []byte("lib"), "algo=new")
+}
+
+func TestGetPutEvictLRU(t *testing.T) {
+	c := New(2)
+	c.Put(key(1), "a")
+	c.Put(key(2), "b")
+	if v, ok := c.Get(key(1)); !ok || v != "a" {
+		t.Fatalf("Get(1) = %v, %v", v, ok)
+	}
+	// 2 is now least recently used; inserting 3 must evict it.
+	c.Put(key(3), "c")
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("key 2 should have been evicted")
+	}
+	if v, ok := c.Get(key(1)); !ok || v != "a" {
+		t.Fatalf("Get(1) after eviction = %v, %v", v, ok)
+	}
+	if v, ok := c.Get(key(3)); !ok || v != "c" {
+		t.Fatalf("Get(3) = %v, %v", v, ok)
+	}
+	s := c.Stats()
+	if s.Evictions != 1 || s.Len != 2 || s.Cap != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.Hits != 3 || s.Misses != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 3/1", s.Hits, s.Misses)
+	}
+}
+
+func TestPutExistingRefreshes(t *testing.T) {
+	c := New(2)
+	c.Put(key(1), "a")
+	c.Put(key(2), "b")
+	c.Put(key(1), "a2") // refresh: 2 becomes LRU
+	c.Put(key(3), "c")
+	if _, ok := c.Get(key(2)); ok {
+		t.Fatal("key 2 should have been evicted after key 1 was refreshed")
+	}
+	if v, _ := c.Get(key(1)); v != "a2" {
+		t.Fatalf("refreshed value = %v, want a2", v)
+	}
+}
+
+func TestKeySeparatesPayloadsAndOptions(t *testing.T) {
+	base := NewKey([]byte("net"), []byte("lib"), "algo=new")
+	for name, other := range map[string]Key{
+		"net":     NewKey([]byte("net2"), []byte("lib"), "algo=new"),
+		"library": NewKey([]byte("net"), []byte("lib2"), "algo=new"),
+		"options": NewKey([]byte("net"), []byte("lib"), "algo=lillis"),
+	} {
+		if other == base {
+			t.Errorf("%s change did not change the key", name)
+		}
+	}
+	if again := NewKey([]byte("net"), []byte("lib"), "algo=new"); again != base {
+		t.Fatal("identical inputs must produce identical keys")
+	}
+}
+
+func TestDisabledCache(t *testing.T) {
+	for _, capacity := range []int{0, -1} {
+		c := New(capacity)
+		c.Put(key(1), "a")
+		if _, ok := c.Get(key(1)); ok {
+			t.Fatalf("cap %d: disabled cache returned a hit", capacity)
+		}
+		if c.Len() != 0 {
+			t.Fatalf("cap %d: Len = %d", capacity, c.Len())
+		}
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New(8)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := key(i % 16)
+				c.Put(k, i)
+				c.Get(k)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if n := c.Len(); n > 8 {
+		t.Fatalf("Len = %d exceeds capacity", n)
+	}
+}

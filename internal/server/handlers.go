@@ -1,0 +1,432 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+
+	"bufferkit"
+	"bufferkit/internal/orderbuf"
+	"bufferkit/internal/server/cache"
+)
+
+// solveRequest is the POST /v1/solve payload.
+type solveRequest struct {
+	// Net is the net in the repository's .net text format.
+	Net string `json:"net"`
+	// Library is the buffer library in the .buf text format.
+	Library string `json:"library"`
+	solveOptions
+}
+
+// solveResponse is the POST /v1/solve reply and the per-net body of a
+// batch NDJSON line.
+type solveResponse struct {
+	Net        string            `json:"net,omitempty"`
+	Algorithm  string            `json:"algorithm"`
+	Slack      float64           `json:"slack"`
+	Buffers    int               `json:"buffers"`
+	Cost       int               `json:"cost"`
+	Candidates int               `json:"candidates,omitempty"`
+	Placement  map[string]string `json:"placement"`
+	Stats      *bufferkit.Stats  `json:"stats,omitempty"`
+	Frontier   []frontierPoint   `json:"frontier,omitempty"`
+	// Cached reports whether the result came from the LRU cache without an
+	// engine run.
+	Cached bool `json:"cached"`
+	// ElapsedMs is the engine runtime of the (original) solve. It is
+	// reported for /v1/solve runs only: batch workers overlap, so per-net
+	// wall time is not measurable there and the field is omitted.
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+}
+
+// frontierPoint is one cost–slack Pareto point (AlgoCostSlack).
+type frontierPoint struct {
+	Cost    int     `json:"cost"`
+	Slack   float64 `json:"slack"`
+	Buffers int     `json:"buffers"`
+}
+
+// errorResponse is the JSON body of every non-2xx reply.
+type errorResponse struct {
+	Error string `json:"error"`
+	// Field/Vertex/Type carry ValidationError detail when present.
+	Field  string `json:"field,omitempty"`
+	Vertex *int   `json:"vertex,omitempty"`
+	Type   *int   `json:"type,omitempty"`
+}
+
+// handleSolve solves one net: cache lookup on the raw payload digests,
+// then parse, run under the request deadline, store, reply.
+func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
+	s.solveReqs.Add(1)
+	var req solveRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key := cache.NewKey([]byte(req.Net), []byte(req.Library), req.solveOptions.cacheOptions())
+	if v, ok := s.cache.Get(key); ok {
+		resp := *v.(*solveResponse) // copy: cached entries are immutable
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+	net, lib, err := parsePayload(req.Net, req.Library)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	solver, err := req.newSolver(lib, bufferkit.WithDriver(net.Driver))
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	defer solver.Close()
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.solveOptions))
+	defer cancel()
+	if !s.acquire(ctx.Done()) {
+		s.writeError(w, ctx.Err())
+		return
+	}
+	s.inFlightRuns.Add(1)
+	s.engineRuns.Add(1)
+	start := time.Now()
+	res, err := solver.Run(ctx, net.Tree)
+	elapsed := time.Since(start)
+	s.inFlightRuns.Add(-1)
+	s.release(1)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	resp := buildResponse(net, lib, solver.Algorithm(), res, elapsed)
+	s.cache.Put(key, resp)
+	s.cacheStores.Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// batchRequest is the POST /v1/batch payload.
+type batchRequest struct {
+	// Library is shared by every net of the batch.
+	Library string `json:"library"`
+	// Nets are the .net texts to solve.
+	Nets []string `json:"nets"`
+	// Ordered asks for input-order NDJSON lines instead of completion
+	// order.
+	Ordered bool `json:"ordered,omitempty"`
+	solveOptions
+}
+
+// batchLine is one NDJSON line of the batch response. Exactly one of
+// Result and Error is set per net; a trailing line with Index = -1 and
+// Error set reports a batch-level abort (deadline, client disconnect).
+type batchLine struct {
+	Index  int            `json:"index"`
+	Result *solveResponse `json:"result,omitempty"`
+	Error  string         `json:"error,omitempty"`
+}
+
+// handleBatch solves a batch, streaming one NDJSON line per net. Cached
+// nets are answered without an engine run; the rest go through
+// Solver.Stream on as many workers as the semaphore can spare (at least
+// one, so batches never deadlock each other).
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	s.batchReqs.Add(1)
+	var req batchRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	if len(req.Nets) == 0 {
+		s.writeError(w, badRequestf("nets", "batch has no nets"))
+		return
+	}
+	if len(req.Nets) > s.cfg.MaxBatchNets {
+		s.writeError(w, badRequestf("nets", "batch has %d nets; limit is %d", len(req.Nets), s.cfg.MaxBatchNets))
+		return
+	}
+	s.batchNets.Add(int64(len(req.Nets)))
+
+	lib, err := bufferkit.ParseLibrary(strings.NewReader(req.Library))
+	if err != nil {
+		s.writeError(w, wrapParseError("library", err))
+		return
+	}
+	// Parse every net up front: a malformed payload fails the whole batch
+	// with a 400 naming the offending index, before any engine time is
+	// spent.
+	type job struct {
+		key  cache.Key
+		net  *bufferkit.Net
+		resp *solveResponse // non-nil = cache hit
+	}
+	jobs := make([]job, len(req.Nets))
+	options := req.solveOptions.cacheOptions()
+	for i, text := range req.Nets {
+		jobs[i].key = cache.NewKey([]byte(text), []byte(req.Library), options)
+		if v, ok := s.cache.Get(jobs[i].key); ok {
+			resp := *v.(*solveResponse)
+			resp.Cached = true
+			jobs[i].resp = &resp
+			continue
+		}
+		net, err := bufferkit.ParseNet(strings.NewReader(text))
+		if err != nil {
+			s.writeError(w, badRequestf("nets", "net %d: %v", i, err))
+			return
+		}
+		jobs[i].net = net
+	}
+
+	// Sub-batch of the cache misses, remembering original indices.
+	var trees []*bufferkit.Tree
+	var drivers []bufferkit.Driver
+	var origIdx []int
+	for i := range jobs {
+		if jobs[i].resp == nil {
+			trees = append(trees, jobs[i].net.Tree)
+			drivers = append(drivers, jobs[i].net.Driver)
+			origIdx = append(origIdx, i)
+		}
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.solveOptions))
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	emit := func(line *batchLine) bool {
+		if err := enc.Encode(line); err != nil {
+			cancel() // client gone; stop the workers
+			return false
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return true
+	}
+	// deliver reorders lines by original index when Ordered is set;
+	// otherwise it is emit itself.
+	deliver := emit
+	if req.Ordered {
+		buf := orderbuf.New[*batchLine](len(jobs))
+		deliver = func(line *batchLine) bool {
+			return buf.Add(line.Index, line, emit)
+		}
+	}
+
+	// delivered counts lines handed to deliver; the batch is complete
+	// exactly when every net produced one (in ordered mode a gap from a
+	// canceled net keeps later pending lines unemitted, but then the
+	// count is short too, so the truncation line below still fires).
+	delivered := 0
+	// Cache hits stream immediately (in ordered mode they wait for their
+	// turn inside deliver).
+	for i := range jobs {
+		if jobs[i].resp != nil {
+			if !deliver(&batchLine{Index: i, Result: jobs[i].resp}) {
+				return
+			}
+			delivered++
+		}
+	}
+	if len(trees) > 0 {
+		// Take one guaranteed engine slot (so the batch always progresses)
+		// plus whatever extra capacity is idle right now.
+		if !s.acquire(ctx.Done()) {
+			emit(&batchLine{Index: -1, Error: errorMessage(ctx.Err())})
+			return
+		}
+		slots := 1 + s.acquireExtra(min(len(trees), s.cfg.MaxConcurrent)-1)
+		s.inFlightRuns.Add(int64(slots))
+		defer func() {
+			s.inFlightRuns.Add(int64(-slots))
+			s.release(slots)
+		}()
+		solver, err := req.newSolver(lib,
+			bufferkit.WithDrivers(drivers),
+			bufferkit.WithWorkers(slots),
+		)
+		if err != nil {
+			emit(&batchLine{Index: -1, Error: errorMessage(err)})
+			return
+		}
+		for res, err := range solver.Stream(ctx, trees) {
+			if res.Index < 0 {
+				emit(&batchLine{Index: -1, Error: errorMessage(err)})
+				return
+			}
+			i := origIdx[res.Index]
+			s.engineRuns.Add(1)
+			if err != nil {
+				if !deliver(&batchLine{Index: i, Error: errorMessage(err)}) {
+					return
+				}
+				delivered++
+				continue
+			}
+			resp := buildResponse(jobs[i].net, lib, solver.Algorithm(), &res, 0)
+			s.cache.Put(jobs[i].key, resp)
+			s.cacheStores.Add(1)
+			if !deliver(&batchLine{Index: i, Result: resp}) {
+				return
+			}
+			delivered++
+		}
+	}
+	if delivered < len(jobs) {
+		// The stream ended early (deadline or cancellation); tell the
+		// client the batch is truncated.
+		err := ctx.Err()
+		if err == nil {
+			err = context.Canceled
+		}
+		emit(&batchLine{Index: -1, Error: errorMessage(s.asCanceled(err))})
+	}
+}
+
+// handleAlgorithms lists the registry.
+func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"algorithms": bufferkit.AlgorithmInfos()})
+}
+
+// handleHealthz is the liveness probe.
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleMetrics renders the server's expvar map as JSON.
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.metrics.String())
+}
+
+// decodeBody JSON-decodes a size-limited request body into dst.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			return &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooBig.Limit)}
+		}
+		return badRequestf("", "malformed JSON body: %v", err)
+	}
+	return nil
+}
+
+// parsePayload parses the raw net and library texts, mapping failures to
+// 400s that name the offending request field.
+func parsePayload(netText, libText string) (*bufferkit.Net, bufferkit.Library, error) {
+	net, err := bufferkit.ParseNet(strings.NewReader(netText))
+	if err != nil {
+		return nil, nil, wrapParseError("net", err)
+	}
+	lib, err := bufferkit.ParseLibrary(strings.NewReader(libText))
+	if err != nil {
+		return nil, nil, wrapParseError("library", err)
+	}
+	return net, lib, nil
+}
+
+// wrapParseError turns a netlist parse/validation failure into a 400.
+// *ValidationError passes through so its vertex/type/field detail reaches
+// the client; plain parse errors are pinned to the request field.
+func wrapParseError(field string, err error) error {
+	var verr *bufferkit.ValidationError
+	if errors.As(err, &verr) {
+		return verr
+	}
+	return badRequestf(field, "%v", err)
+}
+
+// buildResponse converts a NetResult into the wire shape.
+func buildResponse(net *bufferkit.Net, lib bufferkit.Library, algo string, res *bufferkit.NetResult, elapsed time.Duration) *solveResponse {
+	resp := &solveResponse{
+		Net:        net.Name,
+		Algorithm:  algo,
+		Slack:      res.Slack,
+		Buffers:    res.Placement.Count(),
+		Cost:       res.Placement.Cost(lib),
+		Candidates: res.Candidates,
+		Placement:  placementNames(net.Tree, lib, res.Placement),
+		ElapsedMs:  float64(elapsed) / float64(time.Millisecond),
+	}
+	if res.Stats != (bufferkit.Stats{}) {
+		stats := res.Stats
+		resp.Stats = &stats
+	}
+	for _, p := range res.Frontier {
+		resp.Frontier = append(resp.Frontier, frontierPoint{Cost: p.Cost, Slack: p.Slack, Buffers: p.Placement.Count()})
+	}
+	return resp
+}
+
+// asCanceled maps a fired context error onto the solver's ErrCanceled so
+// the status mapping has one cancellation path.
+func (s *Server) asCanceled(err error) error {
+	if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+		return fmt.Errorf("%w: %v", bufferkit.ErrCanceled, err)
+	}
+	return err
+}
+
+// errorMessage renders err for an NDJSON line.
+func errorMessage(err error) string {
+	if err == nil {
+		return "unknown error"
+	}
+	return err.Error()
+}
+
+// writeError maps err onto an HTTP status with a JSON error body:
+// *ValidationError and malformed payloads → 400, body too large → 413,
+// ErrInfeasible → 422, ErrCanceled (request deadline) → 504, anything
+// else → 500.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	s.httpErrors.Add(1)
+	resp := errorResponse{Error: err.Error()}
+	status := http.StatusInternalServerError
+	var herr *httpError
+	var verr *bufferkit.ValidationError
+	switch {
+	case errors.As(err, &herr):
+		status = herr.status
+		resp.Field = herr.field
+	case errors.As(err, &verr):
+		status = http.StatusBadRequest
+		resp.Field = verr.Field
+		if verr.Vertex >= 0 {
+			v := verr.Vertex
+			resp.Vertex = &v
+		}
+		if verr.Type >= 0 {
+			t := verr.Type
+			resp.Type = &t
+		}
+	case errors.Is(err, bufferkit.ErrInfeasible):
+		status = http.StatusUnprocessableEntity
+	case errors.Is(err, bufferkit.ErrCanceled),
+		errors.Is(err, context.DeadlineExceeded),
+		errors.Is(err, context.Canceled):
+		status = http.StatusGatewayTimeout
+	}
+	writeJSON(w, status, &resp)
+}
+
+// writeJSON writes v as the complete response body.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

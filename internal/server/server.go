@@ -1,0 +1,293 @@
+// Package server implements bufferkitd's JSON-over-HTTP API on top of the
+// bufferkit Solver: parse .net/.buf payloads, dispatch through the
+// algorithm registry, and serve concurrent requests from a bounded pool of
+// warm engines.
+//
+// Endpoints:
+//
+//	POST /v1/solve      solve one net, JSON in / JSON out
+//	POST /v1/batch      solve many nets, JSON in / NDJSON stream out
+//	GET  /v1/algorithms registered algorithms with descriptions
+//	GET  /healthz       liveness probe
+//	GET  /metrics       expvar counters as JSON
+//
+// Concurrency model: a semaphore of Config.MaxConcurrent slots bounds the
+// number of engine runs in flight across all requests; the engines
+// themselves come from bufferkit's shared sync.Pool, so a loaded server
+// reaches steady state with zero per-request engine construction. Each
+// request's context (with its deadline) propagates into the per-vertex
+// cancellation polls of RunContext, so a hung client or an expired budget
+// stops the dynamic program mid-run.
+//
+// An LRU cache keyed by (net digest, library digest, algorithm, options)
+// serves repeated nets — the common case in synthesis loops — without
+// parsing or solving anything; see internal/server/cache.
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"net/http"
+	"runtime"
+	"slices"
+	"strings"
+	"time"
+
+	"bufferkit"
+	"bufferkit/internal/server/cache"
+)
+
+// Config parameterizes a Server. The zero value is production-usable:
+// GOMAXPROCS concurrent engine runs, a 4096-entry cache, a 30 s default
+// solve budget capped at 5 min, 16 MiB request bodies.
+type Config struct {
+	// MaxConcurrent bounds engine runs in flight across all requests
+	// (0 = GOMAXPROCS).
+	MaxConcurrent int
+	// CacheEntries is the LRU result-cache capacity (0 = default 4096,
+	// negative = caching disabled).
+	CacheEntries int
+	// DefaultTimeout is the per-request solve budget when the request does
+	// not set timeout_ms (0 = 30 s).
+	DefaultTimeout time.Duration
+	// MaxTimeout caps client-requested budgets (0 = 5 min).
+	MaxTimeout time.Duration
+	// MaxBodyBytes bounds request bodies (0 = 16 MiB).
+	MaxBodyBytes int64
+	// MaxBatchNets bounds the nets accepted by one /v1/batch call
+	// (0 = 10000).
+	MaxBatchNets int
+}
+
+func (c *Config) fill() {
+	if c.MaxConcurrent <= 0 {
+		c.MaxConcurrent = runtime.GOMAXPROCS(0)
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 4096
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.MaxBatchNets <= 0 {
+		c.MaxBatchNets = 10000
+	}
+}
+
+// Server holds the shared state behind the handlers. Create with New and
+// mount via Handler.
+type Server struct {
+	cfg   Config
+	sem   chan struct{}
+	cache *cache.Cache
+
+	// Counters are kept on a private expvar.Map (not Publish-ed globally)
+	// so tests can run many Servers in one process; /metrics renders the
+	// map as JSON.
+	metrics      *expvar.Map
+	solveReqs    *expvar.Int
+	batchReqs    *expvar.Int
+	batchNets    *expvar.Int
+	engineRuns   *expvar.Int
+	cacheStores  *expvar.Int
+	httpErrors   *expvar.Int
+	inFlightRuns *expvar.Int
+}
+
+// New builds a Server from cfg (zero value = defaults).
+func New(cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		cfg:          cfg,
+		sem:          make(chan struct{}, cfg.MaxConcurrent),
+		cache:        cache.New(cfg.CacheEntries),
+		metrics:      new(expvar.Map).Init(),
+		solveReqs:    new(expvar.Int),
+		batchReqs:    new(expvar.Int),
+		batchNets:    new(expvar.Int),
+		engineRuns:   new(expvar.Int),
+		cacheStores:  new(expvar.Int),
+		httpErrors:   new(expvar.Int),
+		inFlightRuns: new(expvar.Int),
+	}
+	s.metrics.Set("solve_requests", s.solveReqs)
+	s.metrics.Set("batch_requests", s.batchReqs)
+	s.metrics.Set("batch_nets", s.batchNets)
+	s.metrics.Set("engine_runs", s.engineRuns)
+	s.metrics.Set("cache_stores", s.cacheStores)
+	s.metrics.Set("http_errors", s.httpErrors)
+	s.metrics.Set("in_flight_runs", s.inFlightRuns)
+	s.metrics.Set("cache_hits", expvar.Func(func() any { return s.cache.Stats().Hits }))
+	s.metrics.Set("cache_misses", expvar.Func(func() any { return s.cache.Stats().Misses }))
+	s.metrics.Set("cache_evictions", expvar.Func(func() any { return s.cache.Stats().Evictions }))
+	s.metrics.Set("cache_len", expvar.Func(func() any { return s.cache.Stats().Len }))
+	s.metrics.Set("max_concurrent", expvar.Func(func() any { return s.cfg.MaxConcurrent }))
+	return s
+}
+
+// Handler returns the HTTP handler serving every endpoint.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/solve", s.handleSolve)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// solveOptions are the request fields that select and configure an
+// algorithm, shared by the solve and batch payloads.
+type solveOptions struct {
+	// Algorithm is a registry name; "" means bufferkit.AlgoNew.
+	Algorithm string `json:"algorithm,omitempty"`
+	// Prune is "transient" (default) or "destructive" (AlgoNew only).
+	Prune string `json:"prune,omitempty"`
+	// MaxCost caps total buffer cost (AlgoCostSlack only; 0 = no cap).
+	MaxCost int `json:"max_cost,omitempty"`
+	// NoStats skips the Stats copy on the response.
+	NoStats bool `json:"no_stats,omitempty"`
+	// TimeoutMs overrides the server's default solve budget, capped at
+	// Config.MaxTimeout.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// newSolver assembles a Solver for one request. extra carries per-mode
+// options (WithDriver for solve, WithDrivers/WithWorkers for batch).
+func (o solveOptions) newSolver(lib bufferkit.Library, extra ...bufferkit.Option) (*bufferkit.Solver, error) {
+	algo := o.Algorithm
+	if algo == "" {
+		algo = bufferkit.AlgoNew
+	}
+	if !slices.Contains(bufferkit.Algorithms(), algo) {
+		return nil, badRequestf("algorithm", "unknown algorithm %q (have %s)",
+			algo, strings.Join(bufferkit.Algorithms(), ", "))
+	}
+	var mode bufferkit.PruneMode
+	switch o.Prune {
+	case "", "transient":
+		mode = bufferkit.PruneTransient
+	case "destructive":
+		mode = bufferkit.PruneDestructive
+	default:
+		return nil, badRequestf("prune", "unknown prune mode %q (transient or destructive)", o.Prune)
+	}
+	opts := append([]bufferkit.Option{
+		bufferkit.WithLibrary(lib),
+		bufferkit.WithAlgorithm(algo),
+		bufferkit.WithPruneMode(mode),
+		bufferkit.WithMaxCost(o.MaxCost),
+		bufferkit.WithStats(!o.NoStats),
+	}, extra...)
+	return bufferkit.NewSolver(opts...)
+}
+
+// cacheOptions canonicalizes the option fields that affect the result, for
+// the cache key. TimeoutMs is excluded — a timeout changes whether a result
+// exists, never its value.
+func (o solveOptions) cacheOptions() string {
+	algo := o.Algorithm
+	if algo == "" {
+		algo = bufferkit.AlgoNew
+	}
+	prune := o.Prune
+	if prune == "" {
+		prune = "transient"
+	}
+	return fmt.Sprintf("algo=%s prune=%s maxcost=%d stats=%t", algo, prune, o.MaxCost, !o.NoStats)
+}
+
+// timeout resolves the request's solve budget against the server limits.
+func (s *Server) timeout(o solveOptions) time.Duration {
+	d := s.cfg.DefaultTimeout
+	if o.TimeoutMs > 0 {
+		d = time.Duration(o.TimeoutMs) * time.Millisecond
+	}
+	return min(d, s.cfg.MaxTimeout)
+}
+
+// acquire takes one engine slot, respecting ctx; it reports whether the
+// slot was obtained (false = ctx fired first).
+func (s *Server) acquire(done <-chan struct{}) bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	case <-done:
+		return false
+	}
+}
+
+// acquireExtra grabs up to n additional slots without blocking, returning
+// how many it got. Batch requests use it to widen their worker pool when
+// the server is idle while always being able to proceed on the one slot
+// acquire gave them — so concurrent batches can never deadlock each other.
+func (s *Server) acquireExtra(n int) int {
+	got := 0
+	for ; got < n; got++ {
+		select {
+		case s.sem <- struct{}{}:
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// release returns n engine slots.
+func (s *Server) release(n int) {
+	for i := 0; i < n; i++ {
+		<-s.sem
+	}
+}
+
+// httpError is an error with a fixed HTTP status, optionally tied to a
+// request field.
+type httpError struct {
+	status int
+	msg    string
+	field  string
+}
+
+func (e *httpError) Error() string { return e.msg }
+
+// badRequestf builds a 400 httpError tied to a request field.
+func badRequestf(field, format string, args ...any) *httpError {
+	return &httpError{status: http.StatusBadRequest, field: field, msg: fmt.Sprintf(format, args...)}
+}
+
+// vertexName returns the display name of vertex v: its file name when set,
+// otherwise "v<i>" ("src" for the source).
+func vertexName(t *bufferkit.Tree, v int) string {
+	if v == 0 {
+		return "src"
+	}
+	if n := t.Verts[v].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// bufferName returns the display name of library type b.
+func bufferName(lib bufferkit.Library, b int) string {
+	if n := lib[b].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("b%d", b)
+}
+
+// placementNames renders a placement as vertex name → buffer type name.
+func placementNames(t *bufferkit.Tree, lib bufferkit.Library, p bufferkit.Placement) map[string]string {
+	out := make(map[string]string, p.Count())
+	for v, b := range p {
+		if b != bufferkit.NoBuffer {
+			out[vertexName(t, v)] = bufferName(lib, b)
+		}
+	}
+	return out
+}

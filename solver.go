@@ -121,6 +121,43 @@ func Register(name string, factory func() Algorithm) {
 	registry[name] = factory
 }
 
+// AlgorithmInfo describes one registered algorithm for introspection
+// surfaces (bufferkitd's GET /v1/algorithms, bufopt -help).
+type AlgorithmInfo struct {
+	// Name is the registry key, accepted by WithAlgorithm.
+	Name string `json:"name"`
+	// Description is a one-line human summary, or "" if the algorithm does
+	// not describe itself.
+	Description string `json:"description,omitempty"`
+}
+
+// describer is the optional interface an Algorithm implements to describe
+// itself in AlgorithmInfos.
+type describer interface{ Description() string }
+
+// AlgorithmInfos returns every registered algorithm with its one-line
+// description, sorted by name. It instantiates each factory once; instances
+// implementing releaser are released again immediately.
+func AlgorithmInfos() []AlgorithmInfo {
+	names := Algorithms()
+	infos := make([]AlgorithmInfo, len(names))
+	for i, name := range names {
+		infos[i] = AlgorithmInfo{Name: name}
+		factory, err := lookup(name)
+		if err != nil {
+			continue // unregistered between Algorithms and lookup; name-only
+		}
+		algo := factory()
+		if d, ok := algo.(describer); ok {
+			infos[i].Description = d.Description()
+		}
+		if r, ok := algo.(releaser); ok {
+			r.release()
+		}
+	}
+	return infos
+}
+
 // Algorithms returns the sorted names of every registered algorithm.
 func Algorithms() []string {
 	registryMu.RLock()
@@ -304,6 +341,10 @@ type coreAlgo struct {
 
 func (a *coreAlgo) Name() string { return AlgoNew }
 
+func (a *coreAlgo) Description() string {
+	return "Li–Shi O(bn²) algorithm (DATE 2005); inverters and sink polarities supported (default)"
+}
+
 func (a *coreAlgo) Solve(ctx context.Context, t *Tree, cfg RunConfig) (*NetResult, error) {
 	if a.eng == nil {
 		a.eng = enginePool.Get().(*core.Engine)
@@ -339,6 +380,10 @@ type lillisAlgo struct {
 
 func (a *lillisAlgo) Name() string { return AlgoLillis }
 
+func (a *lillisAlgo) Description() string {
+	return "Lillis–Cheng–Lin O(b²n²) baseline; non-inverting libraries only"
+}
+
 func (a *lillisAlgo) Solve(ctx context.Context, t *Tree, cfg RunConfig) (*NetResult, error) {
 	if a.eng == nil {
 		a.eng = lillis.NewEngine()
@@ -364,6 +409,10 @@ func (a *lillisAlgo) Solve(ctx context.Context, t *Tree, cfg RunConfig) (*NetRes
 type vgAlgo struct{}
 
 func (vgAlgo) Name() string { return AlgoVanGinneken }
+
+func (vgAlgo) Description() string {
+	return "van Ginneken O(n²) classic; requires a single-type library"
+}
 
 // validateConfig rejects multi-type libraries at NewSolver time, so a
 // misconfigured batch fails once instead of once per net. Solve re-checks
@@ -397,6 +446,10 @@ func (vgAlgo) Solve(ctx context.Context, t *Tree, cfg RunConfig) (*NetResult, er
 type costAlgo struct{}
 
 func (costAlgo) Name() string { return AlgoCostSlack }
+
+func (costAlgo) Description() string {
+	return "cost–slack Pareto extension; NetResult.Frontier carries the full trade-off curve"
+}
 
 func (costAlgo) Solve(ctx context.Context, t *Tree, cfg RunConfig) (*NetResult, error) {
 	pts, err := costopt.ParetoContext(ctx, t, cfg.Library, costopt.Options{Driver: cfg.Driver, MaxCost: cfg.MaxCost})

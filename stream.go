@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"bufferkit/internal/orderbuf"
 	"bufferkit/internal/solvererr"
 )
 
@@ -117,6 +118,38 @@ func (s *Solver) Stream(ctx context.Context, nets []*Tree) iter.Seq2[NetResult, 
 		}()
 		for it := range ch {
 			if !yield(it.res, it.err) {
+				return
+			}
+		}
+	}
+}
+
+// StreamOrdered is Stream with input-order delivery: net i's outcome is
+// yielded only after nets 0..i-1 have been yielded, so consumers printing
+// results line-by-line get deterministic output across runs regardless of
+// worker scheduling. Out-of-order completions are buffered (worst case
+// O(len(nets)) held results, each a small struct), so throughput matches
+// Stream; only delivery latency changes.
+//
+// Cancellation semantics match Stream: after ctx fires the sequence ends
+// without yielding unprocessed nets, which under ordering means it ends at
+// the first net that never completed — yielded results are always the
+// prefix 0..k of the input.
+func (s *Solver) StreamOrdered(ctx context.Context, nets []*Tree) iter.Seq2[NetResult, error] {
+	return func(yield func(NetResult, error) bool) {
+		type item struct {
+			res NetResult
+			err error
+		}
+		buf := orderbuf.New[item](len(nets))
+		for nr, err := range s.Stream(ctx, nets) {
+			if nr.Index < 0 { // configuration error: not tied to a net
+				yield(nr, err)
+				return
+			}
+			if !buf.Add(nr.Index, item{res: nr, err: err}, func(it item) bool {
+				return yield(it.res, it.err)
+			}) {
 				return
 			}
 		}
