@@ -162,27 +162,31 @@ func BenchmarkAblationPruneMode(b *testing.B) {
 }
 
 // BenchmarkAblationListImpl compares the doubly-linked candidate list with
-// the slice-rebuild alternative on an identical operation mix (wire, merge,
-// beta insertion) shaped like one buffer position's work.
+// the structure-of-arrays representation on an identical operation mix
+// (wire, merge-betas, convex prune) shaped like one buffer position's work.
+// BenchmarkBackends measures the same trade-off through the whole engine.
 func BenchmarkAblationListImpl(b *testing.B) {
 	for _, k := range []int{64, 512, 4096} {
 		pairs := syntheticList(k)
 		betas := syntheticBetas(64, pairs[k-1].C)
-		b.Run(fmt.Sprintf("k%d/linked", k), func(b *testing.B) {
+		b.Run(fmt.Sprintf("k%d/backend=list", k), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				l := candidate.FromPairs(pairs)
 				l.AddWire(0.01, 5)
 				l.MergeBetas(betas)
+				l.ConvexPruneInPlace()
 				l.Recycle()
 			}
 		})
-		b.Run(fmt.Sprintf("k%d/slice", k), func(b *testing.B) {
+		b.Run(fmt.Sprintf("k%d/backend=soa", k), func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				l := candidate.SliceFromPairs(pairs)
+				l := candidate.SoAFromPairs(pairs)
 				l.AddWire(0.01, 5)
 				l.MergeBetas(betas)
+				l.ConvexPruneInPlace()
+				l.Recycle()
 			}
 		})
 	}
@@ -273,6 +277,48 @@ func BenchmarkInsertBatch(b *testing.B) {
 			}
 			b.ReportMetric(float64(len(nets)*b.N)/b.Elapsed().Seconds(), "nets/s")
 		})
+	}
+}
+
+// BenchmarkBackends is the head-to-head list-vs-SoA comparison through the
+// whole engine, across the list-length regimes that matter: small and large
+// libraries on a bushy industrial net, a long 2-pin line (deep lists, the
+// pointer-chasing worst case), and a balanced multi-pin tree (many short
+// lists, heavy merging). Sub-benchmark names follow the benchstat key=value
+// convention, so
+//
+//	go test -bench 'Backends' -count 10 | benchstat -col /backend -
+//
+// renders the ablation directly. Engines are warm (Reset once, Run per
+// iteration), so the numbers measure the representations, not allocation.
+// DESIGN.md §11 records the measured trade-off and the chosen default.
+func BenchmarkBackends(b *testing.B) {
+	// The regime table is shared with repro -bench-json (BENCH_engine.json)
+	// through experiments.BackendRegimes, so the two trajectories measure
+	// the same workloads under the same names. The industrial net is the
+	// usual benchScale-scaled case; the synthetic lines run at full paper
+	// scale here.
+	regimes := experiments.BackendRegimes(benchNet(b, 337, 5729), 1)
+	for _, rg := range regimes {
+		for _, backend := range []core.Backend{core.BackendList, core.BackendSoA} {
+			b.Run(fmt.Sprintf("regime=%s/backend=%s", rg.Name, backend), func(b *testing.B) {
+				eng := core.NewEngine()
+				if err := eng.Reset(rg.Tree, rg.Lib, core.Options{Driver: drv, Backend: backend}); err != nil {
+					b.Fatal(err)
+				}
+				res := &core.Result{}
+				if err := eng.Run(res); err != nil { // warm the arena slabs
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.Run(res); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }
 

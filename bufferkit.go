@@ -33,6 +33,12 @@
 // context.Context and cancels mid-run; typed errors (ErrInfeasible,
 // ErrCanceled, *ValidationError) support errors.Is / errors.As branching.
 //
+// The O(bn²) and Lillis engines run on either of two candidate-list
+// representations — the paper's doubly-linked list or cache-friendly
+// structure-of-arrays slabs — selected with WithBackend; results are
+// bit-identical and the SoA default is the measured-faster one
+// (DESIGN.md §11).
+//
 // The package is a facade over focused internal packages: routing trees,
 // buffer libraries, exact Elmore evaluation, the candidate-list machinery
 // with the paper's convex pruning, the O(bn²) algorithm, the van Ginneken
@@ -98,6 +104,8 @@ type (
 	// PruneMode selects transient (exact) or destructive (paper-literal)
 	// convex pruning.
 	PruneMode = core.PruneMode
+	// Backend selects the candidate-list representation (see WithBackend).
+	Backend = core.Backend
 	// Net bundles a parsed net file: name, tree and driver.
 	Net = netlist.Net
 	// CostSlackPoint is one point of the cost–slack Pareto frontier.
@@ -122,6 +130,12 @@ const (
 	// PruneDestructive reproduces the paper's printed pruning code; exact
 	// on 2-pin nets, heuristic on multi-pin nets (DESIGN.md §4).
 	PruneDestructive = core.PruneDestructive
+	// BackendDefault resolves to the benchmark-chosen default backend.
+	BackendDefault = core.BackendDefault
+	// BackendList is the paper's doubly-linked candidate list.
+	BackendList = core.BackendList
+	// BackendSoA is the cache-friendly structure-of-arrays representation.
+	BackendSoA = core.BackendSoA
 )
 
 // NewTreeBuilder returns a builder whose vertex 0 is the source.

@@ -14,9 +14,11 @@
 // GOMAXPROCS), with one line streamed per net in sorted-path order.
 //
 // -algo selects any algorithm registered with the bufferkit facade
-// ("new", "lillis", "vanginneken"/"vg", "costslack"). Ctrl-C cancels a
-// run gracefully: in-flight nets stop at the next per-vertex checkpoint
-// and completed results are still reported.
+// ("new", "core", "core-soa", "lillis", "vanginneken"/"vg", "costslack")
+// and -backend pins the candidate-list representation ("list" or "soa";
+// results are bit-identical, see DESIGN.md §11). Ctrl-C cancels a run
+// gracefully: in-flight nets stop at the next per-vertex checkpoint and
+// completed results are still reported.
 package main
 
 import (
@@ -44,6 +46,7 @@ func main() {
 		genLib    = flag.Int("gen-lib", 0, "generate a paper-range library of this size instead of -lib")
 		algo      = flag.String("algo", bufferkit.AlgoNew, "algorithm: "+strings.Join(bufferkit.Algorithms(), ", ")+" (vg = vanginneken)")
 		prune     = flag.String("prune", "transient", "convex pruning for -algo new: transient (exact) or destructive (paper-literal)")
+		backend   = flag.String("backend", "", "candidate-list backend for -algo new/lillis: list, soa, or empty for the default")
 		placement = flag.Bool("placement", false, "print the buffer placement")
 		verify    = flag.Bool("verify", true, "re-check the result against the exact Elmore oracle")
 	)
@@ -61,9 +64,9 @@ func main() {
 	case *batchDir != "" && *placement:
 		err = fmt.Errorf("-placement is not supported with -batch")
 	case *batchDir != "":
-		err = runBatch(ctx, os.Stdout, *batchDir, *libPath, *genLib, *algo, *prune, *jobs, *verify)
+		err = runBatch(ctx, os.Stdout, *batchDir, *libPath, *genLib, *algo, *prune, *backend, *jobs, *verify)
 	default:
-		err = run(ctx, os.Stdout, *netPath, *libPath, *genLib, *algo, *prune, *placement, *verify)
+		err = run(ctx, os.Stdout, *netPath, *libPath, *genLib, *algo, *prune, *backend, *placement, *verify)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bufopt:", err)
@@ -114,7 +117,7 @@ func parseAlgo(algo string) (string, error) {
 }
 
 // newSolver assembles the Solver all bufopt modes share.
-func newSolver(lib bufferkit.Library, algo, prune string, extra ...bufferkit.Option) (*bufferkit.Solver, error) {
+func newSolver(lib bufferkit.Library, algo, prune, backend string, extra ...bufferkit.Option) (*bufferkit.Solver, error) {
 	name, err := parseAlgo(algo)
 	if err != nil {
 		return nil, err
@@ -127,11 +130,12 @@ func newSolver(lib bufferkit.Library, algo, prune string, extra ...bufferkit.Opt
 		bufferkit.WithLibrary(lib),
 		bufferkit.WithAlgorithm(name),
 		bufferkit.WithPruneMode(mode),
+		bufferkit.WithBackend(backend),
 	}, extra...)
 	return bufferkit.NewSolver(opts...)
 }
 
-func run(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, algo, prune string, placement, verify bool) error {
+func run(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, algo, prune, backend string, placement, verify bool) error {
 	if netPath == "" {
 		return fmt.Errorf("-net is required")
 	}
@@ -149,7 +153,7 @@ func run(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, 
 	if err != nil {
 		return err
 	}
-	solver, err := newSolver(lib, algo, prune, bufferkit.WithDriver(net.Driver))
+	solver, err := newSolver(lib, algo, prune, backend, bufferkit.WithDriver(net.Driver))
 	if err != nil {
 		return err
 	}
@@ -217,7 +221,7 @@ func run(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, 
 // first, so batch output is deterministic across runs. Cancellation
 // (Ctrl-C) stops cleanly: completed nets stay reported and the totals line
 // says how far the batch got.
-func runBatch(ctx context.Context, w io.Writer, dir, libPath string, genLib int, algo, prune string, jobs int, verify bool) error {
+func runBatch(ctx context.Context, w io.Writer, dir, libPath string, genLib int, algo, prune, backend string, jobs int, verify bool) error {
 	lib, err := loadLibrary(libPath, genLib)
 	if err != nil {
 		return err
@@ -248,7 +252,7 @@ func runBatch(ctx context.Context, w io.Writer, dir, libPath string, genLib int,
 		drivers[i] = nets[i].Driver
 	}
 
-	solver, err := newSolver(lib, algo, prune,
+	solver, err := newSolver(lib, algo, prune, backend,
 		bufferkit.WithDrivers(drivers),
 		bufferkit.WithWorkers(jobs),
 	)

@@ -32,12 +32,15 @@ type corpusConfig struct {
 	lillis bool
 }
 
-// TestDifferentialCorpus cross-checks the paper's O(bn²) algorithm (and,
-// where applicable, the Lillis baseline) against the brute-force oracle on
-// 300 seeded random nets spanning plain libraries, inverter libraries, and
-// mixed sink polarities. Exact slack agreement is required everywhere, and
-// every reported placement must reproduce its slack under the Elmore
-// oracle.
+// TestDifferentialCorpus cross-checks the paper's O(bn²) algorithm — on
+// both candidate-list backends — and, where applicable, the Lillis
+// baseline, against the brute-force oracle on 300 seeded random nets
+// spanning plain libraries, inverter libraries, and mixed sink polarities.
+// Exact slack agreement with the oracle is required everywhere; between the
+// two backends the agreement must be bit-exact (identical slack, identical
+// placement, identical buffer cost), since they execute the identical
+// arithmetic over different memory layouts. Every reported placement must
+// reproduce its slack under the Elmore oracle.
 func TestDifferentialCorpus(t *testing.T) {
 	const maxPositions = 6 // (b+1)^positions stays ≤ 4^6 evaluations per net
 	configs := []corpusConfig{
@@ -72,27 +75,60 @@ func TestDifferentialCorpus(t *testing.T) {
 					t.Fatalf("seed %d: bruteforce: %v", seed, err)
 				}
 
-				solver, err := NewSolver(WithLibrary(cfg.lib), WithDriver(drv))
+				solver, err := NewSolver(WithLibrary(cfg.lib), WithDriver(drv), WithBackend("list"))
 				if err != nil {
 					t.Fatalf("seed %d: NewSolver: %v", seed, err)
 				}
 				res, err := solver.Run(context.Background(), tr)
 				solver.Close()
+
+				ss, err2 := NewSolver(WithLibrary(cfg.lib), WithDriver(drv), WithBackend("soa"))
+				if err2 != nil {
+					t.Fatalf("seed %d: NewSolver(soa): %v", seed, err2)
+				}
+				soa, err2 := ss.Run(context.Background(), tr)
+				ss.Close()
+
 				if !brute.Feasible {
 					infeasible++
 					if !errors.Is(err, ErrInfeasible) {
 						t.Fatalf("seed %d: oracle says infeasible; core returned %v", seed, err)
+					}
+					if !errors.Is(err2, ErrInfeasible) {
+						t.Fatalf("seed %d: oracle says infeasible; soa backend returned %v", seed, err2)
 					}
 					continue
 				}
 				if err != nil {
 					t.Fatalf("seed %d: core: %v (oracle slack %.6f)", seed, err, brute.Slack)
 				}
+				if err2 != nil {
+					t.Fatalf("seed %d: soa backend: %v (oracle slack %.6f)", seed, err2, brute.Slack)
+				}
 				if !testutil.AlmostEqual(res.Slack, brute.Slack) {
 					t.Fatalf("seed %d: core slack %.12g != brute-force optimum %.12g (Δ=%g)",
 						seed, res.Slack, brute.Slack, res.Slack-brute.Slack)
 				}
 				testutil.CheckPlacement(t, tr, cfg.lib, res.Placement, drv, res.Slack, "core")
+
+				// Backend agreement must be bit-exact, not merely within
+				// tolerance: same arithmetic, different memory layout.
+				if soa.Slack != res.Slack {
+					t.Fatalf("seed %d: soa slack %.17g != list slack %.17g", seed, soa.Slack, res.Slack)
+				}
+				if len(soa.Placement) != len(res.Placement) {
+					t.Fatalf("seed %d: placement lengths differ", seed)
+				}
+				for v := range res.Placement {
+					if soa.Placement[v] != res.Placement[v] {
+						t.Fatalf("seed %d: placements differ at vertex %d: %d vs %d",
+							seed, v, soa.Placement[v], res.Placement[v])
+					}
+				}
+				if soa.Placement.Cost(cfg.lib) != res.Placement.Cost(cfg.lib) {
+					t.Fatalf("seed %d: placement costs differ", seed)
+				}
+				testutil.CheckPlacement(t, tr, cfg.lib, soa.Placement, drv, soa.Slack, "core-soa")
 
 				if cfg.lillis {
 					ls, err := NewSolver(WithLibrary(cfg.lib), WithDriver(drv), WithAlgorithm(AlgoLillis))

@@ -71,6 +71,41 @@ func ExampleWithAlgorithm() {
 	// same optimum: true
 }
 
+// ExampleWithBackend pins the candidate-list representation. The two
+// backends — the paper's doubly-linked list and the cache-friendly
+// structure-of-arrays slabs — execute the same arithmetic and return
+// bit-identical results; only the constant factor differs (DESIGN.md §11),
+// so selecting one is purely a performance decision.
+func ExampleWithBackend() {
+	net := bufferkit.TwoPinNet(10000, 20, 12, 1000, bufferkit.PaperWire())
+	lib := bufferkit.GenerateLibrary(8)
+
+	slacks := map[string]float64{}
+	for _, backend := range []string{"list", "soa"} {
+		s, err := bufferkit.NewSolver(
+			bufferkit.WithLibrary(lib),
+			bufferkit.WithDriver(bufferkit.Driver{R: 0.2, K: 15}),
+			bufferkit.WithBackend(backend),
+		)
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		res, err := s.Run(context.Background(), net)
+		s.Close()
+		if err != nil {
+			fmt.Println(err)
+			return
+		}
+		slacks[backend] = res.Slack
+	}
+	fmt.Println("bit-identical:", slacks["list"] == slacks["soa"])
+	fmt.Printf("slack: %.1f ps\n", slacks["soa"])
+	// Output:
+	// bit-identical: true
+	// slack: 516.9 ps
+}
+
 // ExampleSolver_Stream runs a batch and consumes results as they complete;
 // NetResult.Index ties each result back to its net, so completion order
 // does not matter.

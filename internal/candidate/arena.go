@@ -43,8 +43,9 @@ const (
 // An Arena is not safe for concurrent use; batch workloads use one arena per
 // worker (see bufferkit.InsertBatch).
 type Arena struct {
-	dec  [][]decRecord
-	nDec int
+	dec    [][]decRecord
+	nDec   int
+	curDec []decRecord // tail slab; alloc's fast path is one masked store
 
 	nodes    [][]Node
 	nNode    int
@@ -53,6 +54,10 @@ type Arena struct {
 	lists    [][]List
 	nList    int
 	freeList []*List
+
+	soa     [][]SoAList
+	nSoA    int
+	freeSoA []*SoAList
 
 	fill []DecRef // reusable Fill work stack
 }
@@ -76,25 +81,34 @@ func Resize[T any](s []T, n int) []T {
 // All DecRefs, *Nodes and *Lists obtained from the arena become invalid.
 func (ar *Arena) Reset() {
 	ar.nDec = 0
+	ar.curDec = nil
 	ar.nNode = 0
 	ar.freeNode = ar.freeNode[:0]
 	ar.nList = 0
 	ar.freeList = ar.freeList[:0]
+	ar.nSoA = 0
+	ar.freeSoA = ar.freeSoA[:0]
 }
 
 // NumDecisions returns the number of live decision records.
 func (ar *Arena) NumDecisions() int { return ar.nDec }
 
-// alloc appends one record and returns its reference. Index i is stored at
+// alloc appends one record and returns its reference. Index i lives at
 // slab i>>decSlabBits, offset i&decSlabMask; the returned ref is i+1 so that
-// the zero DecRef stays nil.
+// the zero DecRef stays nil. The tail slab is cached, so the steady-state
+// path — decisions are the highest-frequency allocation in every engine —
+// is a masked store plus a cursor bump.
 func (ar *Arena) alloc(rec decRecord) DecRef {
 	i := ar.nDec
-	s := i >> decSlabBits
-	if s == len(ar.dec) {
-		ar.dec = append(ar.dec, make([]decRecord, decSlabSize))
+	off := i & decSlabMask
+	if off == 0 || ar.curDec == nil {
+		s := i >> decSlabBits
+		if s == len(ar.dec) {
+			ar.dec = append(ar.dec, make([]decRecord, decSlabSize))
+		}
+		ar.curDec = ar.dec[s]
 	}
-	ar.dec[s][i&decSlabMask] = rec
+	ar.curDec[off] = rec
 	ar.nDec++
 	return DecRef(i + 1)
 }
@@ -213,6 +227,30 @@ func (ar *Arena) NewList() *List {
 		ar.nList++
 	}
 	l.front, l.back, l.n, l.ar = nil, nil, 0, ar
+	return l
+}
+
+// NewSoAList returns an empty structure-of-arrays list whose decisions
+// allocate from the arena. Headers come from arena slabs and keep their
+// q/c/dec slab capacity across Reset (only the cursors rewind), so warm
+// runs create and grow SoA lists without touching the heap.
+func (ar *Arena) NewSoAList() *SoAList {
+	var l *SoAList
+	if n := len(ar.freeSoA); n > 0 {
+		l = ar.freeSoA[n-1]
+		ar.freeSoA = ar.freeSoA[:n-1]
+	} else {
+		i := ar.nSoA
+		s := i >> listSlabBits
+		if s == len(ar.soa) {
+			ar.soa = append(ar.soa, make([]SoAList, listSlabSize))
+		}
+		l = &ar.soa[s][i&(listSlabSize-1)]
+		ar.nSoA++
+	}
+	l.q, l.c, l.dec = l.q[:0], l.c[:0], l.dec[:0]
+	l.q2, l.c2, l.dec2 = l.q2[:0], l.c2[:0], l.dec2[:0]
+	l.ar = ar
 	return l
 }
 

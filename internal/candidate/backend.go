@@ -1,0 +1,152 @@
+package candidate
+
+import "fmt"
+
+// Backend selects the candidate-list representation an engine runs on. The
+// two backends implement the identical operation set with the identical
+// arithmetic, so results are bit-equal; only the memory layout — and
+// therefore the constant factor — differs. See DESIGN.md §11 for the
+// measured trade-off.
+type Backend uint8
+
+const (
+	// BackendDefault resolves to DefaultBackend, the representation the
+	// benchmark suite measured fastest on paper-scale workloads.
+	BackendDefault Backend = iota
+	// BackendList is the paper's doubly-linked candidate list: O(1)
+	// deletion and in-place merging, at the cost of pointer-chasing.
+	BackendList
+	// BackendSoA is the structure-of-arrays representation: packed
+	// parallel slabs with compaction and swap-buffer rebuilds.
+	BackendSoA
+)
+
+// DefaultBackend is what BackendDefault resolves to: the SoA representation,
+// which the head-to-head benchmarks (BenchmarkBackends, BENCH_engine.json)
+// measure faster across every paper-scale regime — sequential slab walks
+// beat pointer-chasing well before lists reach the lengths the industrial
+// nets produce.
+const DefaultBackend = BackendSoA
+
+// Resolve maps BackendDefault to DefaultBackend and leaves explicit choices
+// alone.
+func (b Backend) Resolve() Backend {
+	if b == BackendDefault {
+		return DefaultBackend
+	}
+	return b
+}
+
+// String implements fmt.Stringer ("list", "soa"; "default" unresolved).
+func (b Backend) String() string {
+	switch b {
+	case BackendDefault:
+		return "default"
+	case BackendList:
+		return "list"
+	case BackendSoA:
+		return "soa"
+	}
+	return fmt.Sprintf("Backend(%d)", uint8(b))
+}
+
+// ParseBackend resolves a backend name: "list", "soa", or "" / "default"
+// for the benchmark-chosen default.
+func ParseBackend(name string) (Backend, error) {
+	switch name {
+	case "", "default":
+		return BackendDefault, nil
+	case "list":
+		return BackendList, nil
+	case "soa":
+		return BackendSoA, nil
+	}
+	return 0, fmt.Errorf(`candidate: unknown backend %q (want "list" or "soa")`, name)
+}
+
+// Rep is the complete operation set both candidate representations
+// implement — the contract the generic engines (internal/core,
+// internal/lillis) are written against. The type parameter is always the
+// concrete pointer type itself (*List implements Rep[*List], *SoAList
+// implements Rep[*SoAList]), so representation dispatch happens once per
+// list operation while every per-candidate loop runs as concrete code in
+// this package. The comparable constraint lets engines use the zero value
+// (nil) as "no candidate of this parity exists".
+type Rep[L any] interface {
+	comparable
+	AddWire(r, c float64)
+	Len() int
+	MergeWith(o L) L
+	MergeBetas(betas []Beta)
+	InsertOne(q, c float64, dec DecRef) bool
+	ConvexPruneInPlace() int
+	AppendHullInto(h *Hull)
+	AppendAllInto(h *Hull)
+	HullDec(h *Hull, p, hint int) (DecRef, int)
+	Best(r float64) (q, c float64, dec DecRef, ok bool)
+	Free()
+	Validate() error
+}
+
+// Alloc constructs lists of representation L from an arena. Implementations
+// are zero-size structs, so a generic engine carries its allocator for
+// free.
+type Alloc[L any] interface {
+	Sink(ar *Arena, q, c float64, vertex int) L
+	Empty(ar *Arena) L
+}
+
+// ListAlloc is the Alloc for the doubly-linked representation.
+type ListAlloc struct{}
+
+// Sink implements Alloc.
+func (ListAlloc) Sink(ar *Arena, q, c float64, v int) *List { return ar.NewSink(q, c, v) }
+
+// Empty implements Alloc.
+func (ListAlloc) Empty(ar *Arena) *List { return ar.NewList() }
+
+// SoAAlloc is the Alloc for the structure-of-arrays representation.
+type SoAAlloc struct{}
+
+// Sink implements Alloc.
+func (SoAAlloc) Sink(ar *Arena, q, c float64, v int) *SoAList { return ar.NewSoASink(q, c, v) }
+
+// Empty implements Alloc.
+func (SoAAlloc) Empty(ar *Arena) *SoAList { return ar.NewSoAList() }
+
+// Hull is the concave majorant of a candidate list, materialized as packed
+// parallel arrays so the engines' monotone hull walk — the paper's O(k+b)
+// device — touches contiguous memory regardless of which representation
+// produced it. Engines own one Hull per parity and reuse it across buffer
+// positions; Reset keeps capacity, so warm runs fill hulls without
+// allocating.
+//
+// Dec is filled only by the linked-list backend: the hull builder scans
+// O(k) candidates but the walk resolves decisions for at most b of them, so
+// the SoA backend skips the third column during its scan and recovers
+// decisions on demand through HullDec (an exact search of its C slab).
+// Engines must therefore go through Rep.HullDec, never read Dec directly.
+type Hull struct {
+	Q, C []float64
+	Dec  []DecRef
+}
+
+// Reset empties the hull, keeping capacity.
+func (h *Hull) Reset() {
+	h.Q, h.C, h.Dec = h.Q[:0], h.C[:0], h.Dec[:0]
+}
+
+// Len returns the number of hull points.
+func (h *Hull) Len() int { return len(h.Q) }
+
+func (h *Hull) push(q, c float64, dec DecRef) {
+	h.Q = append(h.Q, q)
+	h.C = append(h.C, c)
+	h.Dec = append(h.Dec, dec)
+}
+
+// leftTurnQC is leftTurn on scalar (Q, C) values: does the middle point b
+// lie strictly above the chord a→c (Eq. 2 of the paper)?
+func leftTurnQC(aq, ac, bq, bc, cq, cc float64) bool {
+	return (bq-aq)*(cc-bc) > (cq-bq)*(bc-ac)
+}

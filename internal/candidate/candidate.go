@@ -436,6 +436,51 @@ func (l *List) HullViewInto(buf []*Node) []*Node {
 	return hull
 }
 
+// AppendHullInto appends the concave majorant to h as packed parallel
+// values — the representation-neutral form of HullViewInto the generic
+// engines consume. The stack head is a plain cursor (pops are a decrement,
+// one commit at the end), matching the SoA implementation. O(k).
+func (l *List) AppendHullInto(h *Hull) {
+	hq, hc, hd := h.Q, h.C, h.Dec
+	n := len(hq)
+	for nd := l.front; nd != nil; nd = nd.next {
+		for n >= 2 && (hq[n-1]-hq[n-2])*(nd.C-hc[n-1]) <= (nd.Q-hq[n-1])*(hc[n-1]-hc[n-2]) {
+			n--
+		}
+		hq = append(hq[:n], nd.Q)
+		hc = append(hc[:n], nd.C)
+		hd = append(hd[:n], nd.Dec)
+		n++
+	}
+	h.Q, h.C, h.Dec = hq, hc, hd
+}
+
+// AppendAllInto appends every candidate to h (after destructive pruning the
+// whole list is the hull).
+func (l *List) AppendAllInto(h *Hull) {
+	for nd := l.front; nd != nil; nd = nd.next {
+		h.push(nd.Q, nd.C, nd.Dec)
+	}
+}
+
+// HullDec resolves the decision of hull point p: nodes cannot be recovered
+// from an index, so the linked backend carries the Dec column in the hull
+// itself. The hint cursor is unused.
+func (l *List) HullDec(h *Hull, p, hint int) (DecRef, int) { return h.Dec[p], hint }
+
+// Best is BestForR returning the candidate's values, in the form the
+// generic engines consume. ok is false on an empty list.
+func (l *List) Best(r float64) (q, c float64, dec DecRef, ok bool) {
+	nd := l.BestForR(r)
+	if nd == nil {
+		return 0, 0, 0, false
+	}
+	return nd.Q, nd.C, nd.Dec, true
+}
+
+// MergeWith is Merge in the method form the generic engines dispatch on.
+func (l *List) MergeWith(o *List) *List { return Merge(l, o) }
+
 // ConvexPruneInPlace removes every candidate not on the concave majorant
 // from the list itself — the literal behaviour of the paper's printed
 // Convexpruning C function, which frees pruned nodes. See DESIGN.md §4 for
@@ -471,7 +516,7 @@ func (l *List) ConvexPruneInPlace() int {
 	return pruned
 }
 
-// Pair is a plain (Q, C) value used by tests and the slice-based list.
+// Pair is a plain (Q, C) value used by tests and the SoA list.
 type Pair struct {
 	Q, C float64
 }

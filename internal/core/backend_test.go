@@ -1,0 +1,176 @@
+package core
+
+import (
+	"testing"
+
+	"bufferkit/internal/delay"
+	"bufferkit/internal/library"
+	"bufferkit/internal/netgen"
+	"bufferkit/internal/segment"
+	"bufferkit/internal/tree"
+)
+
+// TestBackendsAgreeExactly runs the identical instance through both
+// candidate-list backends and demands bit-exact agreement — slack,
+// placement, candidate count — across topologies, polarities, restricted
+// positions and both prune modes. The backends execute the same arithmetic
+// in the same order; only the memory layout differs, so any divergence is a
+// bug, not float noise.
+func TestBackendsAgreeExactly(t *testing.T) {
+	drv := delay.Driver{R: 0.3, K: 5}
+	type instance struct {
+		name string
+		tr   *tree.Tree
+		lib  library.Library
+	}
+	var instances []instance
+	for seed := int64(0); seed < 10; seed++ {
+		base := netgen.Random(netgen.Opts{Sinks: 10, Seed: seed})
+		tr, err := segment.Uniform(base, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		instances = append(instances, instance{"random", tr, library.Generate(8)})
+	}
+	instances = append(instances,
+		instance{"twopin", netgen.TwoPin(10000, 60, 15, 1200, netgen.PaperWire()), library.Generate(16)},
+		instance{"bushy", netgen.Balanced(3, 4, 400, 8, 900, netgen.PaperWire()), library.Generate(8)},
+	)
+	for seed := int64(0); seed < 20; seed++ {
+		instances = append(instances,
+			instance{"polar", netgen.RandomSmall(seed, 5, 0.5), library.GenerateWithInverters(3)})
+	}
+	restricted := netgen.RandomSmall(3, 5, 0).Clone()
+	for i, v := range restricted.BufferPositions() {
+		if i%2 == 0 {
+			restricted.Verts[v].Allowed = []int{i % 3, 2}
+		}
+	}
+	instances = append(instances, instance{"restricted", restricted, library.Generate(3)})
+
+	for _, inst := range instances {
+		for _, prune := range []PruneMode{PruneTransient, PruneDestructive} {
+			list, errL := Insert(inst.tr, inst.lib, Options{Driver: drv, Prune: prune, Backend: BackendList, CheckInvariants: true})
+			soa, errS := Insert(inst.tr, inst.lib, Options{Driver: drv, Prune: prune, Backend: BackendSoA, CheckInvariants: true})
+			if (errL == nil) != (errS == nil) {
+				t.Fatalf("%s/%v: feasibility diverges: list err %v, soa err %v", inst.name, prune, errL, errS)
+			}
+			if errL != nil {
+				continue // both infeasible — agreement established
+			}
+			if soa.Slack != list.Slack {
+				t.Fatalf("%s/%v: slack %.17g (soa) != %.17g (list)", inst.name, prune, soa.Slack, list.Slack)
+			}
+			if soa.Candidates != list.Candidates {
+				t.Fatalf("%s/%v: candidates %d != %d", inst.name, prune, soa.Candidates, list.Candidates)
+			}
+			for v := range list.Placement {
+				if soa.Placement[v] != list.Placement[v] {
+					t.Fatalf("%s/%v: placements differ at vertex %d", inst.name, prune, v)
+				}
+			}
+			if soa.Stats != list.Stats {
+				t.Fatalf("%s/%v: stats differ:\nsoa  %+v\nlist %+v", inst.name, prune, soa.Stats, list.Stats)
+			}
+		}
+	}
+}
+
+// TestBackendStatsParity pins the satellite requirement on a fixed net:
+// every instrumentation counter — MaxListLen, HullPruned, BetasGenerated,
+// BetasKept, list/hull length sums, decision count — must be equal between
+// backends, because both execute the same pruning and generation decisions.
+func TestBackendStatsParity(t *testing.T) {
+	lib := library.Generate(16)
+	tr := netgen.TwoPin(10000, 60, 15, 1200, netgen.PaperWire())
+	opt := Options{Driver: delay.Driver{R: 0.2}}
+
+	opt.Backend = BackendList
+	list, err := Insert(tr, lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Backend = BackendSoA
+	soa, err := Insert(tr, lib, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if list.Stats != soa.Stats {
+		t.Fatalf("stats differ between backends:\nlist %+v\nsoa  %+v", list.Stats, soa.Stats)
+	}
+	if list.Stats.MaxListLen == 0 || list.Stats.HullPruned == 0 || list.Stats.BetasGenerated == 0 || list.Stats.BetasKept == 0 {
+		t.Fatalf("parity check is vacuous — counters not exercised: %+v", list.Stats)
+	}
+}
+
+// TestWarmEngineZeroAllocs asserts the acceptance criterion for both
+// backends: a warm engine re-running the dynamic program performs zero
+// steady-state heap allocations.
+func TestWarmEngineZeroAllocs(t *testing.T) {
+	lib := library.Generate(8)
+	tr := netgen.TwoPin(8000, 40, 12, 1000, netgen.PaperWire())
+	for _, backend := range []Backend{BackendList, BackendSoA} {
+		eng := NewEngine()
+		if err := eng.Reset(tr, lib, Options{Driver: delay.Driver{R: 0.25}, Backend: backend}); err != nil {
+			t.Fatal(err)
+		}
+		res := &Result{}
+		if err := eng.Run(res); err != nil { // warm the arena slabs
+			t.Fatal(err)
+		}
+		want := res.Slack
+		allocs := testing.AllocsPerRun(50, func() {
+			if err := eng.Run(res); err != nil {
+				t.Fatal(err)
+			}
+			if res.Slack != want {
+				t.Fatalf("warm run diverged: %g != %g", res.Slack, want)
+			}
+		})
+		if allocs > 0 {
+			t.Fatalf("backend=%v: warm Run allocates %.1f times per run, want 0", backend, allocs)
+		}
+	}
+}
+
+// TestEngineBackendSwitch re-targets one Engine across backends between
+// Resets (the pooled-engine pattern the facade relies on) and checks the
+// resolved Backend accessor and the bad-backend error path.
+func TestEngineBackendSwitch(t *testing.T) {
+	lib := library.Generate(4)
+	tr := netgen.TwoPin(5000, 20, 10, 800, netgen.PaperWire())
+	eng := NewEngine()
+	res := &Result{}
+	var slacks [4]float64
+	for i, backend := range []Backend{BackendList, BackendSoA, BackendList, BackendSoA} {
+		if err := eng.Reset(tr, lib, Options{Backend: backend}); err != nil {
+			t.Fatal(err)
+		}
+		if eng.Backend() != backend {
+			t.Fatalf("Backend() = %v, want %v", eng.Backend(), backend)
+		}
+		if err := eng.Run(res); err != nil {
+			t.Fatal(err)
+		}
+		slacks[i] = res.Slack
+	}
+	if slacks[0] != slacks[1] || slacks[1] != slacks[2] || slacks[2] != slacks[3] {
+		t.Fatalf("backend switching diverged: %v", slacks)
+	}
+	if err := eng.Reset(tr, lib, Options{Backend: Backend(9)}); err == nil {
+		t.Fatal("Reset accepted an unknown backend")
+	}
+	if err := eng.Run(res); err == nil {
+		t.Fatal("Run succeeded after a failed Reset")
+	}
+	if eng.Backend() != BackendSoA {
+		t.Fatalf("failed Reset overwrote Backend(): %v", eng.Backend())
+	}
+	// The zero value must resolve to the documented default.
+	if err := eng.Reset(tr, lib, Options{}); err != nil {
+		t.Fatal(err)
+	}
+	if eng.Backend() != DefaultBackend {
+		t.Fatalf("zero-value backend resolved to %v, want %v", eng.Backend(), DefaultBackend)
+	}
+}

@@ -24,12 +24,19 @@
 // candidate lists (one per required arrival parity), and exposes two
 // pruning modes — see PruneMode and DESIGN.md §4.
 //
+// The dynamic program exists once, generic over the candidate-list
+// representation (see engine.go): Options.Backend selects the paper's
+// doubly-linked list or the cache-friendly structure-of-arrays slabs, with
+// identical results and instrumentation either way. DESIGN.md §11 records
+// the measured trade-off; the SoA backend is the default.
+//
 // Execution is split from construction: an Engine owns a decision Arena and
 // every scratch buffer, Reset re-targets it at a net, and Run executes the
 // dynamic program. A warm engine re-running on same-shaped nets performs
-// zero steady-state heap allocations (asserted by testing.AllocsPerRun in
-// the tests), which is what makes the batch API in the bufferkit facade
-// scale across worker goroutines instead of across the garbage collector.
+// zero steady-state heap allocations on either backend (asserted by
+// testing.AllocsPerRun in the tests), which is what makes the batch API in
+// the bufferkit facade scale across worker goroutines instead of across the
+// garbage collector.
 package core
 
 import (
@@ -70,18 +77,41 @@ func (m PruneMode) String() string {
 	return fmt.Sprintf("PruneMode(%d)", uint8(m))
 }
 
+// Backend selects the candidate-list representation the dynamic program
+// runs on; see internal/candidate.Backend.
+type Backend = candidate.Backend
+
+// Re-exported backend constants.
+const (
+	// BackendDefault resolves to DefaultBackend.
+	BackendDefault = candidate.BackendDefault
+	// BackendList is the paper's doubly-linked candidate list.
+	BackendList = candidate.BackendList
+	// BackendSoA is the structure-of-arrays representation.
+	BackendSoA = candidate.BackendSoA
+	// DefaultBackend is the representation the benchmarks measured fastest.
+	DefaultBackend = candidate.DefaultBackend
+)
+
+// ParseBackend resolves a backend name ("list", "soa", "" / "default").
+func ParseBackend(name string) (Backend, error) { return candidate.ParseBackend(name) }
+
 // Options configure a run.
 type Options struct {
 	// Driver is the source driver; the zero value is an ideal driver.
 	Driver delay.Driver
 	// Prune selects the convex pruning mode.
 	Prune PruneMode
+	// Backend selects the candidate-list representation; the zero value
+	// resolves to DefaultBackend. Results are identical across backends.
+	Backend Backend
 	// CheckInvariants validates every candidate list after every operation.
 	// For tests; roughly doubles runtime.
 	CheckInvariants bool
 }
 
-// Stats are instrumentation counters for one run.
+// Stats are instrumentation counters for one run. Both backends populate
+// every counter identically (asserted by TestBackendStatsParity).
 type Stats struct {
 	// Positions is the number of buffer positions processed.
 	Positions int
@@ -130,33 +160,24 @@ func Insert(t *tree.Tree, lib library.Library, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// Engine is a reusable insertion engine. It owns a decision Arena and all
-// scratch state (hull buffers, beta slots, per-vertex list table, library
-// orderings), none of which is reallocated across runs: Reset re-targets
-// the engine at a (tree, library, options) triple, Run executes one run.
-// A warm engine allocates nothing on the steady-state path.
+// Engine is a reusable insertion engine. It owns one decision Arena plus a
+// lazily built implementation per backend (each with its own hull buffers,
+// beta slots, per-vertex list table and library orderings), none of which
+// is reallocated across runs: Reset re-targets the engine at a (tree,
+// library, options) triple — including the backend — and Run executes one
+// run. A warm engine allocates nothing on the steady-state path, on either
+// backend.
 //
 // An Engine is not safe for concurrent use; use one per goroutine.
 type Engine struct {
 	arena *candidate.Arena
 
-	t     *tree.Tree
-	lib   library.Library
-	opt   Options
-	polar bool
-	ready bool
+	list *engine[*candidate.List, candidate.ListAlloc]
+	soa  *engine[*candidate.SoAList, candidate.SoAAlloc]
+	cur  runner
 
-	orderR  []int // type indices, driving resistance non-increasing
-	cinRank []int // cinRank[type] = rank in input-capacitance order
-
-	hullBuf  [2][]*candidate.Node
-	betaSlot [2][]candidate.Beta // slotted by cin rank, per destination parity
-	betaHas  [2][]bool
-	betaOrd  [2][]candidate.Beta // cin-ordered betas, per destination parity
-
-	lists []pair // per-vertex candidate state, reused across runs
-
-	stats Stats
+	backend Backend
+	ready   bool
 }
 
 // NewEngine returns an engine with an empty arena. All scratch buffers are
@@ -165,10 +186,15 @@ func NewEngine() *Engine {
 	return &Engine{arena: candidate.NewArena()}
 }
 
-// Reset points the engine at a new instance, revalidating the library and
-// resizing scratch state. It does not run anything; call Run afterwards.
-// Scratch buffers and arena slabs are kept, so resetting to a same-shaped
-// instance allocates nothing.
+// Backend returns the resolved backend of the last successful Reset.
+func (e *Engine) Backend() Backend { return e.backend }
+
+// Reset points the engine at a new instance, revalidating the library,
+// resolving the backend and resizing that backend's scratch state. It does
+// not run anything; call Run afterwards. Scratch buffers and arena slabs
+// are kept — both backend implementations share one arena, and only one
+// runs at a time — so resetting to a same-shaped instance allocates
+// nothing.
 func (e *Engine) Reset(t *tree.Tree, lib library.Library, opt Options) error {
 	e.ready = false // a failed Reset must not leave a runnable stale instance
 	if err := lib.Validate(); err != nil {
@@ -184,29 +210,23 @@ func (e *Engine) Reset(t *tree.Tree, lib library.Library, opt Options) error {
 			polar = true
 		}
 	}
-	e.t, e.opt, e.polar = t, opt, polar
 
-	// Library orderings are recomputed only when the library changes
-	// (compared by backing array identity), keeping warm resets free; the
-	// change path may allocate, which is fine — it is paid once per
-	// library, not per run.
-	if !sameLibrary(e.lib, lib) {
-		e.lib = lib
-		b := len(lib)
-		e.orderR = lib.ByRDesc()
-		e.cinRank = candidate.Resize(e.cinRank, b)
-		for rank, ti := range lib.ByCinAsc() {
-			e.cinRank[ti] = rank
+	switch backend := opt.Backend.Resolve(); backend {
+	case BackendList:
+		if e.list == nil {
+			e.list = &engine[*candidate.List, candidate.ListAlloc]{arena: e.arena}
 		}
-		for s := 0; s < 2; s++ {
-			e.betaSlot[s] = candidate.Resize(e.betaSlot[s], b)
-			e.betaHas[s] = candidate.Resize(e.betaHas[s], b)
-			clear(e.betaHas[s])
-			e.betaOrd[s] = candidate.Resize(e.betaOrd[s], b)[:0]
+		e.list.reset(t, lib, opt, polar)
+		e.cur, e.backend = e.list, backend
+	case BackendSoA:
+		if e.soa == nil {
+			e.soa = &engine[*candidate.SoAList, candidate.SoAAlloc]{arena: e.arena}
 		}
+		e.soa.reset(t, lib, opt, polar)
+		e.cur, e.backend = e.soa, backend
+	default:
+		return solvererr.Validation("core", "backend", "unknown backend %v", opt.Backend)
 	}
-
-	e.lists = candidate.Resize(e.lists, t.Len())
 	e.ready = true
 	return nil
 }
@@ -216,9 +236,14 @@ func (e *Engine) Reset(t *tree.Tree, lib library.Library, opt Options) error {
 // engines do not keep whole designs reachable. Reset makes the engine
 // runnable again.
 func (e *Engine) Release() {
-	e.t, e.lib, e.opt = nil, nil, Options{}
+	if e.list != nil {
+		e.list.release()
+	}
+	if e.soa != nil {
+		e.soa.release()
+	}
+	e.cur = nil
 	e.ready = false
-	clear(e.lists)
 }
 
 // Run executes one insertion run on the instance set by Reset, writing the
@@ -239,237 +264,5 @@ func (e *Engine) RunContext(ctx context.Context, res *Result) error {
 	if !e.ready {
 		return errors.New("core: Run called before a successful Reset")
 	}
-	e.arena.Reset()
-	e.stats = Stats{}
-	clear(e.lists)
-
-	for vi, v := range e.t.PostOrder() {
-		if vi&solvererr.PollMask == 0 && ctx.Err() != nil {
-			return solvererr.Canceled(ctx)
-		}
-		vert := &e.t.Verts[v]
-		if vert.Kind == tree.Sink {
-			s := 0
-			if vert.Pol == tree.Negative {
-				s = 1
-			}
-			var p pair
-			p[s] = e.arena.NewSink(vert.RAT, vert.Cap, v)
-			e.lists[v] = p
-			continue
-		}
-		var acc pair
-		first := true
-		for _, c := range e.t.Children(v) {
-			lc := e.lists[c]
-			e.lists[c] = pair{}
-			r, wc := e.t.Verts[c].EdgeR, e.t.Verts[c].EdgeC
-			for s := 0; s < 2; s++ {
-				if lc[s] != nil {
-					lc[s].AddWire(r, wc)
-				}
-			}
-			if first {
-				acc = lc
-				first = false
-			} else {
-				for s := 0; s < 2; s++ {
-					merged := mergeNilable(acc[s], lc[s])
-					freeNilable(acc[s])
-					freeNilable(lc[s])
-					acc[s] = merged
-				}
-			}
-		}
-		if acc[0] == nil && acc[1] == nil {
-			return solvererr.Infeasible("core: subtree at vertex %d has no polarity-feasible candidates", v)
-		}
-		if vert.BufferOK {
-			e.addBuffer(v, &acc, vert.Allowed)
-		}
-		if err := e.check(&acc); err != nil {
-			return err
-		}
-		if n := lenNilable(acc[0]) + lenNilable(acc[1]); n > e.stats.MaxListLen {
-			e.stats.MaxListLen = n
-		}
-		e.lists[v] = acc
-	}
-
-	root := e.lists[0][0]
-	if root == nil || root.Len() == 0 {
-		return solvererr.Infeasible("core: no polarity-feasible solution at the source")
-	}
-	e.stats.Decisions = e.arena.NumDecisions()
-
-	res.Placement = res.Placement.Reuse(e.t.Len())
-	res.Candidates = root.Len()
-	res.Stats = e.stats
-	best := root.BestForR(e.opt.Driver.R)
-	res.Slack = best.Q - e.opt.Driver.R*best.C - e.opt.Driver.K
-	e.arena.Fill(best.Dec, res.Placement)
-	return nil
-}
-
-// pair is the candidate state at one vertex: pair[0] holds candidates valid
-// when the arriving signal has source polarity, pair[1] when inverted. In
-// non-polar runs only slot 0 is used. A nil list means "no candidate of
-// this parity exists".
-type pair [2]*candidate.List
-
-// addBuffer is the paper's O(k + b) operation (plus a second parity in
-// polar runs).
-func (e *Engine) addBuffer(v int, acc *pair, allowed []int) {
-	e.stats.Positions++
-	e.stats.SumListLen += lenNilable(acc[0]) + lenNilable(acc[1])
-
-	// Hulls of both source lists, before any new candidate lands.
-	var hulls [2][]*candidate.Node
-	for s := 0; s < 2; s++ {
-		l := acc[s]
-		if l == nil || l.Len() == 0 {
-			continue
-		}
-		if e.opt.Prune == PruneDestructive {
-			e.stats.HullPruned += l.ConvexPruneInPlace()
-			hulls[s] = allNodesInto(l, e.hullBuf[s])
-		} else {
-			hulls[s] = l.HullViewInto(e.hullBuf[s])
-			e.stats.HullPruned += l.Len() - len(hulls[s])
-		}
-		e.hullBuf[s] = hulls[s]
-		e.stats.SumHullLen += len(hulls[s])
-	}
-
-	// One monotone pointer per source hull, shared across all types since
-	// the library is walked in non-increasing R order (Lemma 1).
-	var ptr [2]int
-	for _, ti := range e.orderR {
-		if len(allowed) > 0 && !contains(allowed, ti) {
-			continue
-		}
-		b := e.lib[ti]
-		for src := 0; src < 2; src++ {
-			hull := hulls[src]
-			if len(hull) == 0 {
-				continue
-			}
-			p := ptr[src]
-			// Advance while the next hull candidate is strictly better for
-			// this resistance; ties keep the smaller C (the paper's best-
-			// candidate definition).
-			for p+1 < len(hull) &&
-				hull[p+1].Q-b.R*hull[p+1].C > hull[p].Q-b.R*hull[p].C {
-				p++
-			}
-			ptr[src] = p
-			dst := src
-			if b.Inverting {
-				dst = 1 - src
-			}
-			cand := hull[p]
-			beta := candidate.Beta{
-				Q:      cand.Q - b.R*cand.C - b.K,
-				C:      b.Cin,
-				Buffer: ti,
-				Vertex: v,
-				SrcDec: cand.Dec,
-			}
-			e.stats.BetasGenerated++
-			// Slot by cin rank; keep the better Q on rank collision (two
-			// types with equal Cin, or the same type reached from both
-			// parities in degenerate cases).
-			rank := e.cinRank[ti]
-			if !e.betaHas[dst][rank] || beta.Q > e.betaSlot[dst][rank].Q {
-				e.betaSlot[dst][rank] = beta
-				e.betaHas[dst][rank] = true
-			}
-		}
-	}
-
-	// Emit betas in input-capacitance order (O(b)), normalize, merge.
-	for dst := 0; dst < 2; dst++ {
-		ord := e.betaOrd[dst][:0]
-		for rank := 0; rank < len(e.lib); rank++ {
-			if e.betaHas[dst][rank] {
-				ord = append(ord, e.betaSlot[dst][rank])
-				e.betaHas[dst][rank] = false
-			}
-		}
-		e.betaOrd[dst] = ord
-		if len(ord) == 0 {
-			continue
-		}
-		ord = candidate.NormalizeBetas(ord)
-		e.stats.BetasKept += len(ord)
-		if acc[dst] == nil {
-			acc[dst] = e.arena.NewList()
-		}
-		acc[dst].MergeBetas(ord)
-	}
-}
-
-func (e *Engine) check(acc *pair) error {
-	if !e.opt.CheckInvariants {
-		return nil
-	}
-	for s := 0; s < 2; s++ {
-		if acc[s] == nil {
-			continue
-		}
-		if err := acc[s].Validate(); err != nil {
-			return fmt.Errorf("core: invariant violation: %w", err)
-		}
-	}
-	return nil
-}
-
-// sameLibrary reports whether two libraries share the same backing array —
-// the immutability contract on Library makes identity equivalent to
-// equality here, and it keeps warm Resets free of sorting work.
-func sameLibrary(a, b library.Library) bool {
-	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
-}
-
-// mergeNilable merges two branch lists of the same parity; if either branch
-// offers no candidate of this parity, neither does the merge.
-func mergeNilable(a, b *candidate.List) *candidate.List {
-	if a == nil || b == nil || a.Len() == 0 || b.Len() == 0 {
-		return nil
-	}
-	return candidate.Merge(a, b)
-}
-
-func lenNilable(l *candidate.List) int {
-	if l == nil {
-		return 0
-	}
-	return l.Len()
-}
-
-// freeNilable returns a consumed branch list (nodes and header) to the
-// arena.
-func freeNilable(l *candidate.List) {
-	if l != nil {
-		l.Free()
-	}
-}
-
-// allNodesInto collects every node of l into buf (after destructive pruning
-// the whole list is the hull).
-func allNodesInto(l *candidate.List, buf []*candidate.Node) []*candidate.Node {
-	out := buf[:0]
-	for nd := l.Front(); nd != nil; nd = nd.Next() {
-		out = append(out, nd)
-	}
-	return out
-}
-
-func contains(s []int, x int) bool {
-	for _, v := range s {
-		if v == x {
-			return true
-		}
-	}
-	return false
+	return e.cur.runContext(ctx, res)
 }

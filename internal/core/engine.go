@@ -1,0 +1,328 @@
+package core
+
+import (
+	"context"
+	"fmt"
+
+	"bufferkit/internal/candidate"
+	"bufferkit/internal/library"
+	"bufferkit/internal/solvererr"
+	"bufferkit/internal/tree"
+)
+
+// runner is the backend-erased face of engine[L, A] the Engine facade
+// dispatches through — one indirect call per Reset/Run, nothing per vertex.
+type runner interface {
+	reset(t *tree.Tree, lib library.Library, opt Options, polar bool)
+	runContext(ctx context.Context, res *Result) error
+	release()
+}
+
+// pair is the candidate state at one vertex: pair[0] holds candidates valid
+// when the arriving signal has source polarity, pair[1] when inverted. In
+// non-polar runs only slot 0 is used. A zero (nil) list means "no candidate
+// of this parity exists".
+type pair[L candidate.Rep[L]] [2]L
+
+// engine is the generic implementation of the paper's algorithm over one
+// candidate representation. It shares the owning Engine's arena (only one
+// backend runs at a time, and every run rewinds the arena at entry) but
+// owns its scratch: hulls, beta slots, the per-vertex list table, and the
+// library orderings.
+type engine[L candidate.Rep[L], A candidate.Alloc[L]] struct {
+	alloc A
+	arena *candidate.Arena
+
+	t     *tree.Tree
+	lib   library.Library
+	opt   Options
+	polar bool
+
+	orderR  []int // type indices, driving resistance non-increasing
+	cinRank []int // cinRank[type] = rank in input-capacitance order
+
+	hull     [2]candidate.Hull   // packed hulls, per source parity
+	betaSlot [2][]candidate.Beta // slotted by cin rank, per destination parity
+	betaHas  [2][]bool
+	betaOrd  [2][]candidate.Beta // cin-ordered betas, per destination parity
+
+	lists []pair[L] // per-vertex candidate state, reused across runs
+
+	stats Stats
+}
+
+// reset re-targets the engine at a validated (tree, library, options)
+// triple; the facade has already validated the instance, so reset only
+// resizes scratch. Warm resets to a same-shaped instance allocate nothing.
+func (e *engine[L, A]) reset(t *tree.Tree, lib library.Library, opt Options, polar bool) {
+	e.t, e.opt, e.polar = t, opt, polar
+
+	// Library orderings are recomputed only when the library changes
+	// (compared by backing array identity), keeping warm resets free; the
+	// change path may allocate, which is fine — it is paid once per
+	// library, not per run.
+	if !sameLibrary(e.lib, lib) {
+		e.lib = lib
+		b := len(lib)
+		e.orderR = lib.ByRDesc()
+		e.cinRank = candidate.Resize(e.cinRank, b)
+		for rank, ti := range lib.ByCinAsc() {
+			e.cinRank[ti] = rank
+		}
+		for s := 0; s < 2; s++ {
+			e.betaSlot[s] = candidate.Resize(e.betaSlot[s], b)
+			e.betaHas[s] = candidate.Resize(e.betaHas[s], b)
+			clear(e.betaHas[s])
+			e.betaOrd[s] = candidate.Resize(e.betaOrd[s], b)[:0]
+		}
+	}
+
+	e.lists = candidate.Resize(e.lists, t.Len())
+}
+
+// release drops the engine's references to the last instance's tree and
+// library (retaining scratch capacity), so pooled idle engines do not keep
+// whole designs reachable.
+func (e *engine[L, A]) release() {
+	e.t, e.lib, e.opt = nil, nil, Options{}
+	clear(e.lists)
+}
+
+// runContext executes one insertion run — van Ginneken's bottom-up dynamic
+// program with the paper's O(k+b) add-buffer — on the instance set by
+// reset. The per-vertex loop polls ctx at a coarse grain (every
+// solvererr.PollMask+1 vertices); with a background context the poll is a
+// nil comparison per stride, so the warm path keeps its zero-allocation
+// steady state.
+func (e *engine[L, A]) runContext(ctx context.Context, res *Result) error {
+	var zero L
+	e.arena.Reset()
+	e.stats = Stats{}
+	clear(e.lists)
+
+	for vi, v := range e.t.PostOrder() {
+		if vi&solvererr.PollMask == 0 && ctx.Err() != nil {
+			return solvererr.Canceled(ctx)
+		}
+		vert := &e.t.Verts[v]
+		if vert.Kind == tree.Sink {
+			s := 0
+			if vert.Pol == tree.Negative {
+				s = 1
+			}
+			var p pair[L]
+			p[s] = e.alloc.Sink(e.arena, vert.RAT, vert.Cap, v)
+			e.lists[v] = p
+			continue
+		}
+		var acc pair[L]
+		first := true
+		for _, c := range e.t.Children(v) {
+			lc := e.lists[c]
+			e.lists[c] = pair[L]{}
+			r, wc := e.t.Verts[c].EdgeR, e.t.Verts[c].EdgeC
+			for s := 0; s < 2; s++ {
+				if lc[s] != zero {
+					lc[s].AddWire(r, wc)
+				}
+			}
+			if first {
+				acc = lc
+				first = false
+			} else {
+				for s := 0; s < 2; s++ {
+					merged := mergeNil(acc[s], lc[s])
+					freeNil(acc[s])
+					freeNil(lc[s])
+					acc[s] = merged
+				}
+			}
+		}
+		if acc[0] == zero && acc[1] == zero {
+			return solvererr.Infeasible("core: subtree at vertex %d has no polarity-feasible candidates", v)
+		}
+		if vert.BufferOK {
+			e.addBuffer(v, &acc, vert.Allowed)
+		}
+		if err := e.check(&acc); err != nil {
+			return err
+		}
+		if n := lenNil(acc[0]) + lenNil(acc[1]); n > e.stats.MaxListLen {
+			e.stats.MaxListLen = n
+		}
+		e.lists[v] = acc
+	}
+
+	root := e.lists[0][0]
+	if root == zero || root.Len() == 0 {
+		return solvererr.Infeasible("core: no polarity-feasible solution at the source")
+	}
+	e.stats.Decisions = e.arena.NumDecisions()
+
+	res.Placement = res.Placement.Reuse(e.t.Len())
+	res.Candidates = root.Len()
+	res.Stats = e.stats
+	q, c, dec, _ := root.Best(e.opt.Driver.R)
+	res.Slack = q - e.opt.Driver.R*c - e.opt.Driver.K
+	e.arena.Fill(dec, res.Placement)
+	return nil
+}
+
+// addBuffer is the paper's O(k + b) operation (plus a second parity in
+// polar runs): materialize the concave majorant of each source list as a
+// packed Hull, walk one monotone pointer per hull across the library in
+// non-increasing R order (Lemmas 1 and 4), slot the surviving buffered
+// candidates by input-capacitance rank, and merge them back in one pass
+// (Theorem 2).
+func (e *engine[L, A]) addBuffer(v int, acc *pair[L], allowed []int) {
+	var zero L
+	e.stats.Positions++
+	e.stats.SumListLen += lenNil(acc[0]) + lenNil(acc[1])
+
+	// Hulls of both source lists, before any new candidate lands.
+	for s := 0; s < 2; s++ {
+		h := &e.hull[s]
+		h.Reset()
+		l := acc[s]
+		if l == zero || l.Len() == 0 {
+			continue
+		}
+		if e.opt.Prune == PruneDestructive {
+			e.stats.HullPruned += l.ConvexPruneInPlace()
+			l.AppendAllInto(h)
+		} else {
+			l.AppendHullInto(h)
+			e.stats.HullPruned += l.Len() - h.Len()
+		}
+		e.stats.SumHullLen += h.Len()
+	}
+
+	// One monotone pointer per source hull, shared across all types since
+	// the library is walked in non-increasing R order (Lemma 1). The walk
+	// reads the packed hull arrays directly — no candidate structures, no
+	// representation dispatch. decPos carries each parity's decision-
+	// resolution cursor through HullDec (monotone alongside ptr).
+	var ptr, decPos [2]int
+	for _, ti := range e.orderR {
+		if len(allowed) > 0 && !contains(allowed, ti) {
+			continue
+		}
+		b := e.lib[ti]
+		for src := 0; src < 2; src++ {
+			h := &e.hull[src]
+			n := h.Len()
+			if n == 0 {
+				continue
+			}
+			p := ptr[src]
+			// Advance while the next hull candidate is strictly better for
+			// this resistance; ties keep the smaller C (the paper's best-
+			// candidate definition).
+			for p+1 < n && h.Q[p+1]-b.R*h.C[p+1] > h.Q[p]-b.R*h.C[p] {
+				p++
+			}
+			ptr[src] = p
+			dst := src
+			if b.Inverting {
+				dst = 1 - src
+			}
+			srcDec, cursor := acc[src].HullDec(h, p, decPos[src])
+			decPos[src] = cursor
+			beta := candidate.Beta{
+				Q:      h.Q[p] - b.R*h.C[p] - b.K,
+				C:      b.Cin,
+				Buffer: ti,
+				Vertex: v,
+				SrcDec: srcDec,
+			}
+			e.stats.BetasGenerated++
+			// Slot by cin rank; keep the better Q on rank collision (two
+			// types with equal Cin, or the same type reached from both
+			// parities in degenerate cases).
+			rank := e.cinRank[ti]
+			if !e.betaHas[dst][rank] || beta.Q > e.betaSlot[dst][rank].Q {
+				e.betaSlot[dst][rank] = beta
+				e.betaHas[dst][rank] = true
+			}
+		}
+	}
+
+	// Emit betas in input-capacitance order (O(b)), normalize, merge.
+	for dst := 0; dst < 2; dst++ {
+		ord := e.betaOrd[dst][:0]
+		for rank := 0; rank < len(e.lib); rank++ {
+			if e.betaHas[dst][rank] {
+				ord = append(ord, e.betaSlot[dst][rank])
+				e.betaHas[dst][rank] = false
+			}
+		}
+		e.betaOrd[dst] = ord
+		if len(ord) == 0 {
+			continue
+		}
+		ord = candidate.NormalizeBetas(ord)
+		e.stats.BetasKept += len(ord)
+		if acc[dst] == zero {
+			acc[dst] = e.alloc.Empty(e.arena)
+		}
+		acc[dst].MergeBetas(ord)
+	}
+}
+
+func (e *engine[L, A]) check(acc *pair[L]) error {
+	if !e.opt.CheckInvariants {
+		return nil
+	}
+	var zero L
+	for s := 0; s < 2; s++ {
+		if acc[s] == zero {
+			continue
+		}
+		if err := acc[s].Validate(); err != nil {
+			return fmt.Errorf("core: invariant violation: %w", err)
+		}
+	}
+	return nil
+}
+
+// sameLibrary reports whether two libraries share the same backing array —
+// the immutability contract on Library makes identity equivalent to
+// equality here, and it keeps warm resets free of sorting work.
+func sameLibrary(a, b library.Library) bool {
+	return len(a) == len(b) && len(a) > 0 && &a[0] == &b[0]
+}
+
+// mergeNil merges two branch lists of the same parity; if either branch
+// offers no candidate of this parity, neither does the merge.
+func mergeNil[L candidate.Rep[L]](a, b L) L {
+	var zero L
+	if a == zero || b == zero || a.Len() == 0 || b.Len() == 0 {
+		return zero
+	}
+	return a.MergeWith(b)
+}
+
+func lenNil[L candidate.Rep[L]](l L) int {
+	var zero L
+	if l == zero {
+		return 0
+	}
+	return l.Len()
+}
+
+// freeNil returns a consumed branch list (and its storage) to the arena.
+func freeNil[L candidate.Rep[L]](l L) {
+	var zero L
+	if l != zero {
+		l.Free()
+	}
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}

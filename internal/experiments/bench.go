@@ -26,6 +26,38 @@ func BatchWorkload(n int) []*tree.Tree {
 	return nets
 }
 
+// BackendRegime is one workload of the candidate-backend (list vs SoA)
+// ablation.
+type BackendRegime struct {
+	// Name keys the regime in benchmark names (regime=<Name>).
+	Name string
+	// Tree is the workload net.
+	Tree *tree.Tree
+	// Lib is the buffer library the regime runs under.
+	Lib library.Library
+}
+
+// BackendRegimes returns the canonical workload set of the backend
+// ablation, shared by the root BenchmarkBackends and repro -bench-json so
+// the two trajectories measure the same regimes under the same names.
+// industrial is the caller's (already scaled) industrial net, used for the
+// small- and large-library regimes; scale divides the synthetic 2-pin
+// lines the same way Config.Scale divides the paper's nets. The bushy tree
+// is deliberately constant: it is sub-millisecond at full size and exists
+// to measure merge-heavy short-list behaviour, not scaling.
+func BackendRegimes(industrial *tree.Tree, scale int) []BackendRegime {
+	if scale < 1 {
+		scale = 1
+	}
+	return []BackendRegime{
+		{"smallb", industrial, library.Generate(8)},
+		{"largeb", industrial, library.Generate(64)},
+		{"line", netgen.TwoPin(50000/float64(scale), max(2, 2000/scale), 20, 0, netgen.PaperWire()), library.Generate(16)},
+		{"deepline", netgen.TwoPin(100000/float64(scale), max(2, 4000/scale), 20, 0, netgen.PaperWire()), library.Generate(8)},
+		{"bushy", netgen.Balanced(3, 6, 400, 8, 1200, netgen.PaperWire()), library.Generate(16)},
+	}
+}
+
 // BenchResult is one benchmark measurement in the JSON trajectory format
 // consumed by BENCH_*.json tracking.
 type BenchResult struct {
@@ -105,6 +137,32 @@ func BenchJSON(cfg Config, w io.Writer) error {
 			}
 		}
 	}))
+
+	// Head-to-head candidate-list backend ablation, warm engines, on the
+	// shared regime table — the trajectory DESIGN.md §11's crossover table
+	// is built from.
+	for _, rg := range BackendRegimes(t, cfg.Scale) {
+		for _, backend := range []core.Backend{core.BackendList, core.BackendSoA} {
+			eng := core.NewEngine()
+			bopt := core.Options{Driver: Driver, Backend: backend}
+			if err := eng.Reset(rg.Tree, rg.Lib, bopt); err != nil {
+				return fmt.Errorf("bench-json: %w", err)
+			}
+			res := &core.Result{}
+			if err := eng.Run(res); err != nil { // warm the arena slabs
+				return fmt.Errorf("bench-json: %w", err)
+			}
+			add(fmt.Sprintf("engine/regime=%s/backend=%s", rg.Name, backend), 1,
+				testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := eng.Run(res); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}))
+		}
+	}
 
 	nets := BatchWorkload(256)
 	for _, workers := range []int{1, 2, 4, 8} {

@@ -8,8 +8,11 @@
 // by an O(k) linear-scan insertion (another O(bk)).
 //
 // Like internal/core, the baseline exposes a reusable Engine with the same
-// arena-backed allocation discipline, so benchmark comparisons between the
-// two algorithms measure the algorithms, not their memory management.
+// arena-backed allocation discipline, and like internal/core its dynamic
+// program is written once against candidate.Rep, so SetBackend selects the
+// doubly-linked list or the structure-of-arrays representation — benchmark
+// comparisons between the two algorithms (and the two representations)
+// measure the algorithms, not their memory management.
 package lillis
 
 import (
@@ -46,19 +49,26 @@ type Result struct {
 	Stats      Stats
 }
 
-// Engine is a reusable Lillis engine: one decision arena plus the
-// per-vertex list table and beta scratch, all kept across runs.
-// Not safe for concurrent use.
+// Engine is a reusable Lillis engine: one decision arena plus a lazily
+// built implementation per candidate-list backend (per-vertex list table
+// and beta scratch), all kept across runs. Not safe for concurrent use.
 type Engine struct {
-	arena *candidate.Arena
-	lists []*candidate.List
-	betas []candidate.Beta
+	arena   *candidate.Arena
+	backend candidate.Backend
+
+	list *lengine[*candidate.List, candidate.ListAlloc]
+	soa  *lengine[*candidate.SoAList, candidate.SoAAlloc]
 }
 
-// NewEngine returns an engine with an empty arena.
+// NewEngine returns an engine with an empty arena, running on the default
+// backend.
 func NewEngine() *Engine {
 	return &Engine{arena: candidate.NewArena()}
 }
+
+// SetBackend selects the candidate-list representation for subsequent runs.
+// Results are identical across backends.
+func (e *Engine) SetBackend(b candidate.Backend) { e.backend = b }
 
 // Insert computes optimal buffer insertion on t with library lib and driver
 // drv. Inverting types and negative-polarity sinks are not supported by this
@@ -100,6 +110,30 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, lib library.Libra
 		}
 	}
 
+	switch e.backend.Resolve() {
+	case candidate.BackendList:
+		if e.list == nil {
+			e.list = &lengine[*candidate.List, candidate.ListAlloc]{arena: e.arena}
+		}
+		return e.list.runContext(ctx, t, lib, drv, res)
+	default:
+		if e.soa == nil {
+			e.soa = &lengine[*candidate.SoAList, candidate.SoAAlloc]{arena: e.arena}
+		}
+		return e.soa.runContext(ctx, t, lib, drv, res)
+	}
+}
+
+// lengine is the generic baseline implementation over one candidate
+// representation.
+type lengine[L candidate.Rep[L], A candidate.Alloc[L]] struct {
+	alloc A
+	arena *candidate.Arena
+	lists []L
+	betas []candidate.Beta
+}
+
+func (e *lengine[L, A]) runContext(ctx context.Context, t *tree.Tree, lib library.Library, drv delay.Driver, res *Result) error {
 	e.arena.Reset()
 	n := t.Len()
 	e.lists = candidate.Resize(e.lists, n)
@@ -115,18 +149,19 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, lib library.Libra
 		}
 		vert := &t.Verts[v]
 		if vert.Kind == tree.Sink {
-			lists[v] = e.arena.NewSink(vert.RAT, vert.Cap, v)
+			lists[v] = e.alloc.Sink(e.arena, vert.RAT, vert.Cap, v)
 			continue
 		}
-		var cur *candidate.List
+		var zero L
+		cur := zero
 		for _, c := range t.Children(v) {
 			lc := lists[c]
-			lists[c] = nil
+			lists[c] = zero
 			lc.AddWire(t.Verts[c].EdgeR, t.Verts[c].EdgeC)
-			if cur == nil {
+			if cur == zero {
 				cur = lc
 			} else {
-				m := candidate.Merge(cur, lc)
+				m := cur.MergeWith(lc)
 				cur.Free()
 				lc.Free()
 				cur = m
@@ -150,26 +185,29 @@ func (e *Engine) RunContext(ctx context.Context, t *tree.Tree, lib library.Libra
 
 	root := lists[0]
 	res.Candidates = root.Len()
-	best := root.BestForR(drv.R)
-	res.Slack = best.Q - drv.R*best.C - drv.K
-	e.arena.Fill(best.Dec, res.Placement)
+	q, c, dec, _ := root.Best(drv.R)
+	res.Slack = q - drv.R*c - drv.K
+	e.arena.Fill(dec, res.Placement)
 	return nil
 }
 
 // addBuffer generates one buffered candidate per allowed type by a full
 // linear scan of the list — the O(b·k) step.
-func addBuffer(ar *candidate.Arena, l *candidate.List, lib library.Library, allowed []int, vertex int, out []candidate.Beta) []candidate.Beta {
+func addBuffer[L candidate.Rep[L]](ar *candidate.Arena, l L, lib library.Library, allowed []int, vertex int, out []candidate.Beta) []candidate.Beta {
 	for ti := range lib {
 		if len(allowed) > 0 && !contains(allowed, ti) {
 			continue
 		}
 		b := lib[ti]
-		best := l.BestForR(b.R)
+		q, c, dec, ok := l.Best(b.R)
+		if !ok {
+			continue
+		}
 		out = append(out, candidate.Beta{
-			Q:      best.Q - b.R*best.C - b.K,
+			Q:      q - b.R*c - b.K,
 			C:      b.Cin,
 			Buffer: ti,
-			Dec:    ar.BufferDec(vertex, ti, best.Dec),
+			Dec:    ar.BufferDec(vertex, ti, dec),
 		})
 	}
 	return out

@@ -572,3 +572,51 @@ func TestBodyTooLarge(t *testing.T) {
 		t.Fatalf("status %d, want 413", rec.Code)
 	}
 }
+
+// TestSolveBackendField: the backend request field selects a candidate-list
+// representation (identical results), distinct backends get distinct cache
+// keys, and unknown names map to a 400 naming the field.
+func TestSolveBackendField(t *testing.T) {
+	srv := New(Config{})
+	h := srv.Handler()
+	netT, libT := readTestdata(t, "line.net"), readTestdata(t, "lib8.buf")
+	slacks := map[string]float64{}
+	for _, backend := range []string{"list", "soa"} {
+		rec := post(t, h, "/v1/solve", solveRequest{Net: netT, Library: libT,
+			solveOptions: solveOptions{Backend: backend}})
+		if rec.Code != http.StatusOK {
+			t.Fatalf("backend=%s: status %d: %s", backend, rec.Code, rec.Body.String())
+		}
+		var resp solveResponse
+		decodeInto(t, rec, &resp)
+		if resp.Cached {
+			t.Fatalf("backend=%s unexpectedly served from cache — backends must have distinct keys", backend)
+		}
+		slacks[backend] = resp.Slack
+	}
+	if slacks["list"] != slacks["soa"] {
+		t.Fatalf("backends disagree over HTTP: %v", slacks)
+	}
+	// "" and "default" normalize to the resolved default backend in the
+	// cache key, so they hit the entry the explicit default stored.
+	def := bufferkit.BackendDefault.Resolve().String()
+	for _, backend := range []string{"", "default"} {
+		rec := post(t, h, "/v1/solve", solveRequest{Net: netT, Library: libT,
+			solveOptions: solveOptions{Backend: backend}})
+		var resp solveResponse
+		decodeInto(t, rec, &resp)
+		if !resp.Cached {
+			t.Fatalf("backend=%q missed the cache entry stored by backend=%q", backend, def)
+		}
+	}
+	rec := post(t, h, "/v1/solve", solveRequest{Net: netT, Library: libT,
+		solveOptions: solveOptions{Backend: "nope"}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("unknown backend: status %d", rec.Code)
+	}
+	var errResp errorResponse
+	decodeInto(t, rec, &errResp)
+	if errResp.Field != "backend" {
+		t.Fatalf("error field = %q, want backend", errResp.Field)
+	}
+}

@@ -535,3 +535,50 @@ func TestRunBatchMatchesInsertBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestBackendSelection covers the facade surface of the backend ablation:
+// WithBackend names, the pinned AlgoCore/AlgoCoreSoA registry entries, and
+// the validation error for unknown names. Every combination must agree
+// bit-exactly, since the backends differ only in memory layout.
+func TestBackendSelection(t *testing.T) {
+	net := bufferkit.TwoPinNet(8000, 16, 10, 900, bufferkit.PaperWire())
+	lib := bufferkit.GenerateLibrary(6)
+	drv := bufferkit.Driver{R: 0.25, K: 10}
+
+	var want float64
+	first := true
+	runWith := func(opts ...bufferkit.Option) {
+		t.Helper()
+		s, err := bufferkit.NewSolver(append([]bufferkit.Option{
+			bufferkit.WithLibrary(lib), bufferkit.WithDriver(drv),
+		}, opts...)...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		res, err := s.Run(ctxBG(), net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first {
+			want, first = res.Slack, false
+		} else if res.Slack != want {
+			t.Fatalf("backend variant diverged: %.17g != %.17g", res.Slack, want)
+		}
+	}
+	for _, backend := range []string{"", "default", "list", "soa"} {
+		runWith(bufferkit.WithBackend(backend))
+	}
+	for _, algo := range []string{bufferkit.AlgoCore, bufferkit.AlgoCoreSoA} {
+		runWith(bufferkit.WithAlgorithm(algo))
+		// The pinned entries must override a conflicting WithBackend.
+		runWith(bufferkit.WithAlgorithm(algo), bufferkit.WithBackend("list"))
+	}
+	// Lillis honors WithBackend too.
+	runWith(bufferkit.WithAlgorithm(bufferkit.AlgoLillis), bufferkit.WithBackend("list"))
+	runWith(bufferkit.WithAlgorithm(bufferkit.AlgoLillis), bufferkit.WithBackend("soa"))
+
+	if _, err := bufferkit.NewSolver(bufferkit.WithLibrary(lib), bufferkit.WithBackend("nope")); err == nil {
+		t.Fatal("NewSolver accepted an unknown backend name")
+	}
+}
