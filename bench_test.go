@@ -6,6 +6,7 @@
 package bufferkit_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -319,6 +320,44 @@ func BenchmarkBackends(b *testing.B) {
 				}
 			})
 		}
+	}
+}
+
+// BenchmarkYieldSweep measures the Monte Carlo corner fan-out of
+// Solver.SolveYield on warm pooled engines: the per-corner cost should
+// track one warm engine run (the sweep's inner loop allocates nothing),
+// and the robust case adds the cross-corner placement re-scoring pass.
+// The case table is shared with repro -bench-json (BENCH_engine.json)
+// through experiments.YieldBenchCases.
+func BenchmarkYieldSweep(b *testing.B) {
+	t := benchNet(b, 337, 5729)
+	lib := library.Generate(16)
+	for _, yb := range experiments.YieldBenchCases() {
+		b.Run(yb.Name, func(b *testing.B) {
+			solver, err := bufferkit.NewSolver(
+				bufferkit.WithLibrary(lib),
+				bufferkit.WithDriver(drv),
+				bufferkit.WithSamples(yb.Samples),
+				bufferkit.WithSigma(yb.Sigma),
+				bufferkit.WithRobustPlacement(yb.Robust),
+			)
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer solver.Close()
+			ctx := context.Background()
+			if _, err := solver.SolveYield(ctx, t); err != nil { // warm the pool
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SolveYield(ctx, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64((1+yb.Samples)*b.N)/b.Elapsed().Seconds(), "corners/s")
+		})
 	}
 }
 

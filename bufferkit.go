@@ -52,6 +52,14 @@
 // complete; Solver.RunBatch collects them, and NewEngine exposes a
 // reusable zero-steady-state-allocation engine directly — see DESIGN.md
 // §7–§9.
+//
+// Solver.SolveYield evaluates a net across process/interconnect variation:
+// deterministic sign-off corners (WithCorners) and seeded Monte Carlo
+// samples (WithSamples, WithSigma) fan out over the same warm engine pool,
+// returning the slack distribution, the yield at a target
+// (WithYieldTarget), and — with WithRobustPlacement — the placement
+// maximizing yield across corners rather than nominal slack. See
+// DESIGN.md §12.
 package bufferkit
 
 import (

@@ -11,6 +11,7 @@
 //
 //	POST /v1/solve      one net, JSON in / JSON out
 //	POST /v1/batch      many nets, JSON in / NDJSON stream out
+//	POST /v1/yield      Monte Carlo / multi-corner yield analysis
 //	GET  /v1/algorithms algorithm registry with descriptions
 //	GET  /healthz       liveness probe
 //	GET  /metrics       expvar counters as JSON
@@ -44,18 +45,20 @@ func main() {
 		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested budgets")
 		maxBody     = flag.Int64("max-body", 16<<20, "max request body bytes")
 		maxBatch    = flag.Int("max-batch", 10000, "max nets per /v1/batch request")
+		maxYield    = flag.Int("max-yield-samples", 1024, "max Monte Carlo samples per /v1/yield request")
 		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period")
 	)
 	flag.Parse()
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if err := run(ctx, *addr, server.Config{
-		MaxConcurrent:  *concurrency,
-		CacheEntries:   *cacheSize,
-		DefaultTimeout: *timeout,
-		MaxTimeout:     *maxTimeout,
-		MaxBodyBytes:   *maxBody,
-		MaxBatchNets:   *maxBatch,
+		MaxConcurrent:   *concurrency,
+		CacheEntries:    *cacheSize,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxBodyBytes:    *maxBody,
+		MaxBatchNets:    *maxBatch,
+		MaxYieldSamples: *maxYield,
 	}, *grace); err != nil {
 		fmt.Fprintln(os.Stderr, "bufferkitd:", err)
 		os.Exit(1)

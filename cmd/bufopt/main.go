@@ -19,6 +19,13 @@
 // results are bit-identical, see DESIGN.md §11). Ctrl-C cancels a run
 // gracefully: in-flight nets stop at the next per-vertex checkpoint and
 // completed results are still reported.
+//
+// -yield switches single-net mode to Monte Carlo yield analysis: the net
+// is re-optimized under -samples seeded corners perturbing library R/K/Cin
+// and wire r/c by -sigma (plus the deterministic process corners with
+// -corners), reporting the slack distribution, the yield at -yield-target,
+// and — with -robust — the placement maximizing yield across corners
+// instead of the nominal optimum (DESIGN.md §12).
 package main
 
 import (
@@ -49,6 +56,14 @@ func main() {
 		backend   = flag.String("backend", "", "candidate-list backend for -algo new/lillis: list, soa, or empty for the default")
 		placement = flag.Bool("placement", false, "print the buffer placement")
 		verify    = flag.Bool("verify", true, "re-check the result against the exact Elmore oracle")
+
+		yield       = flag.Bool("yield", false, "Monte Carlo yield analysis instead of a single nominal solve")
+		samples     = flag.Int("samples", 64, "-yield: number of Monte Carlo corners")
+		sigma       = flag.Float64("sigma", 0.05, "-yield: relative sigma of the corner sampler")
+		seed        = flag.Int64("seed", 1, "-yield: corner sampler seed")
+		yieldTarget = flag.Float64("yield-target", 0, "-yield: slack threshold (ps) a corner must meet to yield")
+		robust      = flag.Bool("robust", false, "-yield: select the placement maximizing yield across corners")
+		corners     = flag.Bool("corners", false, "-yield: also evaluate the deterministic process corner set")
 	)
 	flag.Parse()
 
@@ -63,8 +78,15 @@ func main() {
 		err = fmt.Errorf("-net and -batch are mutually exclusive")
 	case *batchDir != "" && *placement:
 		err = fmt.Errorf("-placement is not supported with -batch")
+	case *batchDir != "" && *yield:
+		err = fmt.Errorf("-yield is not supported with -batch")
 	case *batchDir != "":
 		err = runBatch(ctx, os.Stdout, *batchDir, *libPath, *genLib, *algo, *prune, *backend, *jobs, *verify)
+	case *yield:
+		err = runYield(ctx, os.Stdout, *netPath, *libPath, *genLib, *algo, *prune, *backend, yieldOpts{
+			samples: *samples, sigma: *sigma, seed: *seed, target: *yieldTarget,
+			robust: *robust, corners: *corners, placement: *placement, workers: *jobs,
+		})
 	default:
 		err = run(ctx, os.Stdout, *netPath, *libPath, *genLib, *algo, *prune, *backend, *placement, *verify)
 	}
@@ -213,6 +235,109 @@ func run(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, 
 		}
 	}
 	return nil
+}
+
+// yieldOpts bundles the -yield mode flags.
+type yieldOpts struct {
+	samples   int
+	sigma     float64
+	seed      int64
+	target    float64
+	robust    bool
+	corners   bool
+	placement bool
+	workers   int
+}
+
+// runYield runs Monte Carlo yield analysis on one net, reporting the slack
+// distribution across corners, the yield at the target, and the chosen
+// placement.
+func runYield(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, algo, prune, backend string, o yieldOpts) error {
+	if netPath == "" {
+		return fmt.Errorf("-net is required")
+	}
+	nf, err := os.Open(netPath)
+	if err != nil {
+		return err
+	}
+	defer nf.Close()
+	net, err := bufferkit.ParseNet(nf)
+	if err != nil {
+		return err
+	}
+	lib, err := loadLibrary(libPath, genLib)
+	if err != nil {
+		return err
+	}
+	extra := []bufferkit.Option{
+		bufferkit.WithDriver(net.Driver),
+		bufferkit.WithSamples(o.samples),
+		bufferkit.WithSigma(o.sigma),
+		bufferkit.WithVariationSeed(o.seed),
+		bufferkit.WithYieldTarget(o.target),
+		bufferkit.WithRobustPlacement(o.robust),
+		bufferkit.WithWorkers(o.workers),
+	}
+	if o.corners {
+		extra = append(extra, bufferkit.WithCorners(bufferkit.ProcessCorners()[1:]))
+	}
+	solver, err := newSolver(lib, algo, prune, backend, extra...)
+	if err != nil {
+		return err
+	}
+	defer solver.Close()
+
+	t := net.Tree
+	fmt.Fprintf(w, "net: %s  (%d vertices, %d sinks, %d buffer positions, %d buffer types, algo %s)\n",
+		orDefault(net.Name, netPath), t.Len(), t.NumSinks(), t.NumBufferPositions(), len(lib), solver.Algorithm())
+	fmt.Fprintf(w, "yield sweep: %d corners (sigma %.3f, seed %d), target %.2f ps\n",
+		o.cornerCount(), o.sigma, o.seed, o.target)
+
+	start := time.Now()
+	res, err := solver.SolveYield(ctx, t)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+
+	d := res.Dist
+	fmt.Fprintf(w, "slack: mean %.4f  std %.4f  min %.4f  p5 %.4f  p50 %.4f  p95 %.4f  max %.4f ps\n",
+		d.Mean, d.Std, d.Min, d.P5, d.P50, d.P95, d.Max)
+	fmt.Fprintf(w, "worst corner: %s (slack %.4f ps, critical sink %d)\n",
+		orDefault(res.Samples[res.WorstSample].Corner.Name, "?"),
+		res.Samples[res.WorstSample].Slack, res.Samples[res.WorstSample].CriticalSink)
+	fmt.Fprintf(w, "optimal yield: %.4f (re-optimized per corner)\n", res.OptimalYield)
+	mode := "nominal"
+	if res.Robust {
+		mode = "robust"
+	}
+	fmt.Fprintf(w, "placements: %d distinct optima; %s choice #%d  yield %.4f  worst %.4f ps  cost %d\n",
+		len(res.Placements), mode, res.Chosen, res.Yield, res.Placements[res.Chosen].WorstSlack,
+		res.Placements[res.Chosen].Cost)
+	fmt.Fprintf(w, "buffers: %d   runtime: %s\n", res.Placement.Count(), elapsed)
+
+	if o.placement {
+		for v, b := range res.Placement {
+			if b != bufferkit.NoBuffer {
+				name := t.Verts[v].Name
+				if name == "" {
+					name = fmt.Sprintf("v%d", v)
+				}
+				fmt.Fprintf(w, "  %s: %s\n", name, lib[b].Name)
+			}
+		}
+	}
+	return nil
+}
+
+// cornerCount is the number of corners the sweep evaluates (nominal +
+// named corners + samples), for the header line.
+func (o yieldOpts) cornerCount() int {
+	n := 1 + o.samples
+	if o.corners {
+		n += len(bufferkit.ProcessCorners()) - 1
+	}
+	return n
 }
 
 // runBatch optimizes every *.net file in dir concurrently via

@@ -158,3 +158,67 @@ func TestRunErrors(t *testing.T) {
 		})
 	}
 }
+
+// TestRunYield: the -yield mode reports the sweep header, the slack
+// distribution, the yield line and the placement summary.
+func TestRunYield(t *testing.T) {
+	var out strings.Builder
+	o := yieldOpts{samples: 16, sigma: 0.08, seed: 1, robust: true, corners: true, placement: true}
+	if err := runYield(bg(), &out, testdata+"random12.net", testdata+"lib8.buf", 0, "new", "transient", "", o); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"yield sweep: 21 corners", "slack: mean", "optimal yield:",
+		"distinct optima", "robust choice", "buffers:",
+	} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("yield output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+// TestRunYieldDeterministic: two identical invocations print identical
+// reports apart from the runtime line.
+func TestRunYieldDeterministic(t *testing.T) {
+	render := func() string {
+		var out strings.Builder
+		o := yieldOpts{samples: 24, sigma: 0.1, seed: 7}
+		if err := runYield(bg(), &out, testdata+"random12.net", "", 8, "new", "transient", "", o); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(out.String(), "\n")
+		kept := lines[:0]
+		for _, l := range lines {
+			if !strings.Contains(l, "runtime:") {
+				kept = append(kept, l)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if a, b := render(), render(); a != b {
+		t.Fatalf("yield reports differ across identical seeds:\n--- a\n%s\n--- b\n%s", a, b)
+	}
+}
+
+// TestRunYieldErrors covers the yield-mode flag validation paths.
+func TestRunYieldErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		err  string
+		o    yieldOpts
+		algo string
+	}{
+		{"negative samples", "nonnegative", yieldOpts{samples: -1}, "new"},
+		{"bad sigma", "must be in", yieldOpts{samples: 4, sigma: 0.9}, "new"},
+		{"wrong algorithm", "not supported", yieldOpts{samples: 4, sigma: 0.1}, "lillis"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := runYield(bg(), io.Discard, testdata+"random12.net", "", 8, tc.algo, "transient", "", tc.o)
+			if err == nil || !strings.Contains(err.Error(), tc.err) {
+				t.Fatalf("err = %v, want substring %q", err, tc.err)
+			}
+		})
+	}
+}

@@ -9,11 +9,18 @@
 //	repro -exp fig3 -scale 4     # quarter-scale quick look
 //	repro -exp table1 -csv
 //	repro -bench-json BENCH_engine.json -scale 4
+//
+// -bench-json runs the allocation-discipline benchmark suite (cold vs warm
+// insertion, the list-vs-SoA backend regimes, the yield-sweep series, and
+// batch throughput) and writes one JSON document tracked as a BENCH_*.json
+// trajectory.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime/debug"
 
@@ -21,37 +28,54 @@ import (
 )
 
 func main() {
-	var (
-		exp       = flag.String("exp", "all", "experiment: table1, fig3, fig4, libreduce, listlen, all")
-		scale     = flag.Int("scale", 1, "divide the paper's m and n by this factor (1 = full scale)")
-		reps      = flag.Int("reps", 2, "timing repetitions per measurement (fastest wins)")
-		seed      = flag.Int64("seed", 1, "workload seed")
-		csv       = flag.Bool("csv", false, "emit CSV instead of aligned text")
-		benchJSON = flag.String("bench-json", "", "run the engine/batch benchmarks and write them as JSON to this file ('-' for stdout), instead of -exp")
-	)
-	flag.Parse()
-
 	// Timing binary: relax the collector so measurements reflect the
 	// algorithms rather than GC pacing (documented in EXPERIMENTS.md).
 	debug.SetGCPercent(400)
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "repro:", err)
+		if err == errUsage {
+			os.Exit(2)
+		}
+		os.Exit(1)
+	}
+}
 
-	cfg := experiments.Config{Scale: *scale, Reps: *reps, Seed: *seed, Out: os.Stdout, CSV: *csv}
+// errUsage marks a bad invocation (exit code 2, matching flag's own
+// convention).
+var errUsage = fmt.Errorf("usage error")
+
+// run executes one repro invocation. stdout receives the tables (and the
+// bench JSON when -bench-json is "-"); it is a parameter so the command is
+// testable without subprocesses.
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("repro", flag.ContinueOnError)
+	var (
+		exp       = fs.String("exp", "all", "experiment: table1, fig3, fig4, libreduce, listlen, all")
+		scale     = fs.Int("scale", 1, "divide the paper's m and n by this factor (1 = full scale)")
+		reps      = fs.Int("reps", 2, "timing repetitions per measurement (fastest wins)")
+		seed      = fs.Int64("seed", 1, "workload seed")
+		csv       = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		benchJSON = fs.String("bench-json", "", "run the engine/batch benchmarks and write them as JSON to this file ('-' for stdout), instead of -exp")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return nil // -h/-help: usage already printed, exit 0
+		}
+		return errUsage
+	}
+
+	cfg := experiments.Config{Scale: *scale, Reps: *reps, Seed: *seed, Out: stdout, CSV: *csv}
 	if *benchJSON != "" {
-		out := os.Stdout
+		out := stdout
 		if *benchJSON != "-" {
 			f, err := os.Create(*benchJSON)
 			if err != nil {
-				fmt.Fprintln(os.Stderr, "repro:", err)
-				os.Exit(1)
+				return err
 			}
 			defer f.Close()
 			out = f
 		}
-		if err := experiments.BenchJSON(cfg, out); err != nil {
-			fmt.Fprintln(os.Stderr, "repro:", err)
-			os.Exit(1)
-		}
-		return
+		return experiments.BenchJSON(cfg, out)
 	}
 	fns := map[string]func(experiments.Config) error{
 		"table1":    experiments.Table1,
@@ -64,10 +88,7 @@ func main() {
 	fn, ok := fns[*exp]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "repro: unknown -exp %q\n", *exp)
-		os.Exit(2)
+		return errUsage
 	}
-	if err := fn(cfg); err != nil {
-		fmt.Fprintln(os.Stderr, "repro:", err)
-		os.Exit(1)
-	}
+	return fn(cfg)
 }

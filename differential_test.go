@@ -153,6 +153,87 @@ func TestDifferentialCorpus(t *testing.T) {
 	// Corpus diversity guards: the suite must actually exercise what it
 	// claims to — ≥200 nets, some with negative sinks, and at least one
 	// polarity-infeasible instance proving the infeasible path is hit.
+	checkCorpusDiversity(t, total, negSinks, infeasible)
+}
+
+// TestVariationSigmaZeroMatchesNominal is the sigma=0 property: a yield
+// sweep drawing one Monte Carlo sample at sigma 0 evaluates only nominal
+// corners, so its slack, placement and buffer cost must agree bit-exactly
+// with the plain Solver.Run result — on both candidate-list backends,
+// across plain libraries, inverter libraries and mixed sink polarities.
+func TestVariationSigmaZeroMatchesNominal(t *testing.T) {
+	configs := []corpusConfig{
+		{name: "plain-3types", lib: GenerateLibrary(3), seeds: 25},
+		{name: "inverters-mixed-polarity", lib: GenerateLibraryWithInverters(3), negProb: 0.5, seeds: 25},
+	}
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			for seed := int64(0); seed < int64(cfg.seeds); seed++ {
+				tr := netgen.RandomSmall(seed, 6, cfg.negProb)
+				drv := Driver{R: 0.25, K: 12}
+				for _, backend := range []string{"list", "soa"} {
+					s, err := NewSolver(WithLibrary(cfg.lib), WithDriver(drv), WithBackend(backend))
+					if err != nil {
+						t.Fatal(err)
+					}
+					run, runErr := s.Run(context.Background(), tr)
+
+					ys, err := NewSolver(
+						WithLibrary(cfg.lib), WithDriver(drv), WithBackend(backend),
+						WithSamples(1), WithSigma(0), WithVariationSeed(seed),
+					)
+					if err != nil {
+						t.Fatal(err)
+					}
+					yres, yerr := ys.SolveYield(context.Background(), tr)
+					s.Close()
+					ys.Close()
+
+					if runErr != nil {
+						// Infeasibility must agree too: no polarity-feasible
+						// solution nominally means none under any corner.
+						if !errors.Is(runErr, ErrInfeasible) {
+							t.Fatalf("seed %d %s: Run: %v", seed, backend, runErr)
+						}
+						if !errors.Is(yerr, ErrInfeasible) {
+							t.Fatalf("seed %d %s: Run infeasible but SolveYield returned %v", seed, backend, yerr)
+						}
+						continue
+					}
+					if yerr != nil {
+						t.Fatalf("seed %d %s: SolveYield: %v", seed, backend, yerr)
+					}
+					if len(yres.Samples) != 2 {
+						t.Fatalf("seed %d %s: got %d samples, want 2 (nominal + one sigma-0 draw)", seed, backend, len(yres.Samples))
+					}
+					for i, smp := range yres.Samples {
+						if smp.Slack != run.Slack {
+							t.Fatalf("seed %d %s: sample %d slack %.17g != Run slack %.17g",
+								seed, backend, i, smp.Slack, run.Slack)
+						}
+					}
+					if len(yres.Placements) != 1 {
+						t.Fatalf("seed %d %s: sigma-0 sweep found %d distinct placements, want 1", seed, backend, len(yres.Placements))
+					}
+					for v := range run.Placement {
+						if yres.Placement[v] != run.Placement[v] {
+							t.Fatalf("seed %d %s: placements differ at vertex %d", seed, backend, v)
+						}
+					}
+					if yres.Placements[0].Cost != run.Placement.Cost(cfg.lib) {
+						t.Fatalf("seed %d %s: cost %d != Run cost %d",
+							seed, backend, yres.Placements[0].Cost, run.Placement.Cost(cfg.lib))
+					}
+				}
+			}
+		})
+	}
+}
+
+// checkCorpusDiversity asserts the differential corpus exercises what it
+// claims to.
+func checkCorpusDiversity(t *testing.T, total, negSinks, infeasible int) {
+	t.Helper()
 	if total < 200 {
 		t.Fatalf("corpus has %d nets, want ≥ 200", total)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -55,6 +56,28 @@ func BackendRegimes(industrial *tree.Tree, scale int) []BackendRegime {
 		{"line", netgen.TwoPin(50000/float64(scale), max(2, 2000/scale), 20, 0, netgen.PaperWire()), library.Generate(16)},
 		{"deepline", netgen.TwoPin(100000/float64(scale), max(2, 4000/scale), 20, 0, netgen.PaperWire()), library.Generate(8)},
 		{"bushy", netgen.Balanced(3, 6, 400, 8, 1200, netgen.PaperWire()), library.Generate(16)},
+	}
+}
+
+// YieldBenchCase is one workload of the yield-sweep benchmark series,
+// shared by the root BenchmarkYieldSweep and repro -bench-json so both
+// trajectories measure the same sweeps under the same names.
+type YieldBenchCase struct {
+	Name    string
+	Samples int
+	Sigma   float64
+	Robust  bool
+}
+
+// YieldBenchCases returns the canonical yield-sweep benchmark series: two
+// Monte Carlo sizes on the nominal-selection path and one robust-selection
+// case that additionally re-scores every distinct placement across all
+// corners.
+func YieldBenchCases() []YieldBenchCase {
+	return []YieldBenchCase{
+		{Name: "yield/samples=16", Samples: 16, Sigma: 0.05},
+		{Name: "yield/samples=64", Samples: 64, Sigma: 0.05},
+		{Name: "yield/samples=64/robust", Samples: 64, Sigma: 0.05, Robust: true},
 	}
 }
 
@@ -162,6 +185,36 @@ func BenchJSON(cfg Config, w io.Writer) error {
 					}
 				}))
 		}
+	}
+
+	// Yield-sweep series: Monte Carlo corner fan-out over the pooled warm
+	// engines (internal/variation), tracked alongside the engine series so
+	// regressions in the per-corner zero-allocation path show up in the
+	// same trajectory. nets/s here means corners/s.
+	for _, yb := range YieldBenchCases() {
+		solver, err := bufferkit.NewSolver(
+			bufferkit.WithLibrary(lib),
+			bufferkit.WithDriver(Driver),
+			bufferkit.WithSamples(yb.Samples),
+			bufferkit.WithSigma(yb.Sigma),
+			bufferkit.WithRobustPlacement(yb.Robust),
+		)
+		if err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		ctx := context.Background()
+		if _, err := solver.SolveYield(ctx, t); err != nil { // warm the pool
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		add(yb.Name, 1+yb.Samples, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SolveYield(ctx, t); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		solver.Close()
 	}
 
 	nets := BatchWorkload(256)

@@ -7,6 +7,7 @@
 //
 //	POST /v1/solve      solve one net, JSON in / JSON out
 //	POST /v1/batch      solve many nets, JSON in / NDJSON stream out
+//	POST /v1/yield      Monte Carlo / multi-corner yield analysis
 //	GET  /v1/algorithms registered algorithms with descriptions
 //	GET  /healthz       liveness probe
 //	GET  /metrics       expvar counters as JSON
@@ -57,6 +58,9 @@ type Config struct {
 	// MaxBatchNets bounds the nets accepted by one /v1/batch call
 	// (0 = 10000).
 	MaxBatchNets int
+	// MaxYieldSamples bounds the Monte Carlo corners accepted by one
+	// /v1/yield call (0 = 1024).
+	MaxYieldSamples int
 }
 
 func (c *Config) fill() {
@@ -78,6 +82,9 @@ func (c *Config) fill() {
 	if c.MaxBatchNets <= 0 {
 		c.MaxBatchNets = 10000
 	}
+	if c.MaxYieldSamples <= 0 {
+		c.MaxYieldSamples = 1024
+	}
 }
 
 // Server holds the shared state behind the handlers. Create with New and
@@ -98,6 +105,14 @@ type Server struct {
 	cacheStores  *expvar.Int
 	httpErrors   *expvar.Int
 	inFlightRuns *expvar.Int
+
+	// Yield-sweep counters. The two abort counters are the endpoint's
+	// partial-progress story: a sweep killed by the request deadline still
+	// reports how many samples it completed before dying.
+	yieldReqs           *expvar.Int
+	yieldSamples        *expvar.Int
+	yieldDeadlineAborts *expvar.Int
+	yieldAbortedSamples *expvar.Int
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -115,6 +130,11 @@ func New(cfg Config) *Server {
 		cacheStores:  new(expvar.Int),
 		httpErrors:   new(expvar.Int),
 		inFlightRuns: new(expvar.Int),
+
+		yieldReqs:           new(expvar.Int),
+		yieldSamples:        new(expvar.Int),
+		yieldDeadlineAborts: new(expvar.Int),
+		yieldAbortedSamples: new(expvar.Int),
 	}
 	s.metrics.Set("solve_requests", s.solveReqs)
 	s.metrics.Set("batch_requests", s.batchReqs)
@@ -123,6 +143,10 @@ func New(cfg Config) *Server {
 	s.metrics.Set("cache_stores", s.cacheStores)
 	s.metrics.Set("http_errors", s.httpErrors)
 	s.metrics.Set("in_flight_runs", s.inFlightRuns)
+	s.metrics.Set("yield_requests", s.yieldReqs)
+	s.metrics.Set("yield_samples", s.yieldSamples)
+	s.metrics.Set("yield_deadline_aborts", s.yieldDeadlineAborts)
+	s.metrics.Set("yield_aborted_samples", s.yieldAbortedSamples)
 	s.metrics.Set("cache_hits", expvar.Func(func() any { return s.cache.Stats().Hits }))
 	s.metrics.Set("cache_misses", expvar.Func(func() any { return s.cache.Stats().Misses }))
 	s.metrics.Set("cache_evictions", expvar.Func(func() any { return s.cache.Stats().Evictions }))
@@ -136,6 +160,7 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
+	mux.HandleFunc("POST /v1/yield", s.handleYield)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)

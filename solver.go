@@ -212,6 +212,7 @@ type Solver struct {
 	factory  func() Algorithm
 	drivers  []Driver
 	workers  int
+	yield    yieldConfig // SolveYield options (see yield.go)
 
 	mu   sync.Mutex
 	algo Algorithm // lazily built warm instance for Run
@@ -300,7 +301,7 @@ func WithWorkers(n int) Option {
 // NewSolver builds a Solver from functional options. WithLibrary is
 // required; the algorithm defaults to AlgoNew with stats collection on.
 func NewSolver(opts ...Option) (*Solver, error) {
-	s := &Solver{algoName: AlgoNew, cfg: RunConfig{CollectStats: true}}
+	s := &Solver{algoName: AlgoNew, cfg: RunConfig{CollectStats: true}, yield: yieldConfig{seed: 1}}
 	var err error
 	if s.factory, err = lookup(AlgoNew); err != nil {
 		return nil, err
