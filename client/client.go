@@ -1,0 +1,430 @@
+// Package client is the typed Go client for bufferkitd. It speaks the
+// server's JSON/NDJSON API and bakes in the retry discipline the server's
+// resilience tier expects from well-behaved callers:
+//
+//   - Jittered exponential backoff on retryable failures (connection
+//     errors, 429, 502, 503), honoring the server's Retry-After hint when
+//     one is present — a shed server names its own backoff.
+//   - A retry budget (token bucket) so a broken dependency produces a
+//     bounded trickle of retries, not a synchronized storm.
+//   - No retry of non-idempotent progress: once any byte of a batch NDJSON
+//     stream has been consumed, the stream is never silently re-run —
+//     truncation surfaces as ErrTruncated and the caller decides.
+//   - 504 (the server's deadline verdict) and other 4xx are terminal:
+//     retrying work the server already declared over-budget only deepens
+//     an overload.
+//   - Optional hedged solves: when a P95 latency hint is configured, a
+//     second identical request races the first after that delay and the
+//     first response wins. Solves are idempotent and cached server-side,
+//     so hedging is safe.
+//
+// See DESIGN.md §13 for the full resilience model and README.md for a
+// usage example.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand/v2"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RetryPolicy shapes the backoff loop. The zero value means defaults:
+// 4 attempts, 100 ms base, 2 s cap.
+type RetryPolicy struct {
+	// MaxAttempts bounds total tries per call, first included
+	// (0 = default 4; 1 = never retry).
+	MaxAttempts int
+	// BaseDelay is the first backoff step (0 = default 100 ms).
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential growth (0 = default 2 s).
+	MaxDelay time.Duration
+}
+
+func (p *RetryPolicy) fill() {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+}
+
+// Client is a bufferkitd API client. Safe for concurrent use.
+type Client struct {
+	base  *url.URL
+	hc    *http.Client
+	retry RetryPolicy
+	// hedgeAfter launches a second identical solve when the first has not
+	// answered within this delay (0 = hedging off).
+	hedgeAfter time.Duration
+	budget     *retryBudget
+	// sleep and jitter are test seams; production uses real time and
+	// rand.Float64.
+	sleep  func(context.Context, time.Duration) error
+	jitter func() float64
+}
+
+// Option configures a Client.
+type Option func(*Client)
+
+// WithHTTPClient substitutes the underlying *http.Client (default: a
+// dedicated client with a 30 s overall timeout disabled — deadlines come
+// from the caller's context).
+func WithHTTPClient(hc *http.Client) Option { return func(c *Client) { c.hc = hc } }
+
+// WithRetry overrides the retry policy.
+func WithRetry(p RetryPolicy) Option { return func(c *Client) { c.retry = p } }
+
+// WithRetryBudget bounds retry volume: every original request earns
+// `ratio` retry tokens (capped at burst) and every retry spends one, so
+// sustained failures retry at ratio× the request rate instead of
+// multiplying it. Defaults: ratio 0.1, burst 10. ratio <= 0 disables the
+// budget (every retry allowed).
+func WithRetryBudget(ratio float64, burst int) Option {
+	return func(c *Client) { c.budget = newRetryBudget(ratio, burst) }
+}
+
+// WithHedging arms hedged solves: if a Solve has not answered within d —
+// a P95 latency hint from /metrics, typically — a second identical
+// request is launched and the first response wins. Only Solve hedges;
+// batch streams and yield sweeps are too expensive to double-run.
+func WithHedging(d time.Duration) Option { return func(c *Client) { c.hedgeAfter = d } }
+
+// New builds a Client for a bufferkitd base URL such as
+// "http://localhost:8080".
+func New(baseURL string, opts ...Option) (*Client, error) {
+	u, err := url.Parse(baseURL)
+	if err != nil {
+		return nil, fmt.Errorf("client: bad base URL %q: %w", baseURL, err)
+	}
+	if u.Scheme == "" || u.Host == "" {
+		return nil, fmt.Errorf("client: base URL %q needs a scheme and host", baseURL)
+	}
+	c := &Client{
+		base:   u,
+		hc:     &http.Client{},
+		budget: newRetryBudget(0.1, 10),
+		sleep:  sleepCtx,
+		jitter: rand.Float64,
+	}
+	c.retry.fill()
+	for _, o := range opts {
+		o(c)
+	}
+	c.retry.fill()
+	return c, nil
+}
+
+// APIError is a non-2xx reply, decoded from the server's JSON error body.
+type APIError struct {
+	// Status is the HTTP status code.
+	Status int
+	// Message is the server's error string.
+	Message string
+	// Field names the offending request field on 400s, when known.
+	Field string
+	// RetryAfter is the server's backoff hint on 429/503 (0 = none).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Field != "" {
+		return fmt.Sprintf("bufferkitd: %d %s (field %s)", e.Status, e.Message, e.Field)
+	}
+	return fmt.Sprintf("bufferkitd: %d %s", e.Status, e.Message)
+}
+
+// Temporary reports whether the reply invites a retry (429 or 503).
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// ErrTruncated reports a batch NDJSON stream that ended with the server's
+// terminal error record instead of completing. The client never retries
+// past it: the caller has already consumed part of the stream.
+var ErrTruncated = errors.New("bufferkitd: batch stream truncated")
+
+// ErrBudgetExhausted marks a retryable failure that was not retried
+// because the retry budget was empty.
+var ErrBudgetExhausted = errors.New("bufferkitd: retry budget exhausted")
+
+// retryable reports whether err invites another attempt: transport
+// failures and Temporary API errors do; everything else — 4xx, the
+// server's 504 deadline verdict, 500 — is terminal.
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.Temporary() || apiErr.Status == http.StatusBadGateway
+	}
+	// Respect the caller's context: a fired deadline is not retryable.
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return false
+	}
+	// Anything else from the transport is a connection-level failure.
+	return true
+}
+
+// backoff computes the jittered exponential delay for attempt (0-based
+// retry index), honoring the server hint when present.
+func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
+	if hint > 0 {
+		return hint
+	}
+	d := c.retry.BaseDelay << attempt
+	if d > c.retry.MaxDelay || d <= 0 {
+		d = c.retry.MaxDelay
+	}
+	// Full jitter in [d/2, d): desynchronizes clients that shed together.
+	return d/2 + time.Duration(c.jitter()*float64(d/2))
+}
+
+// do sends a request through the retry loop and returns the first
+// successful response; the caller owns its body. Retries happen only
+// before a response is obtained — consuming a streamed body and then
+// failing is the caller's to surface, never to silently re-run.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	var lastErr error
+	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			if !c.budget.allow() {
+				return nil, fmt.Errorf("%w after %v", ErrBudgetExhausted, lastErr)
+			}
+			var hint time.Duration
+			var apiErr *APIError
+			if errors.As(lastErr, &apiErr) {
+				hint = apiErr.RetryAfter
+			}
+			if err := c.sleep(ctx, c.backoff(attempt-1, hint)); err != nil {
+				return nil, err
+			}
+		}
+		resp, err := c.attempt(ctx, method, path, body)
+		if err == nil {
+			c.budget.deposit()
+			return resp, nil
+		}
+		lastErr = err
+		if !retryable(err) {
+			return nil, err
+		}
+	}
+	return nil, lastErr
+}
+
+// attempt sends one request and maps non-2xx replies to *APIError.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	u := c.base.JoinPath(path)
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, u.String(), rd)
+	if err != nil {
+		return nil, err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode/100 == 2 {
+		return resp, nil
+	}
+	defer resp.Body.Close()
+	apiErr := &APIError{Status: resp.StatusCode}
+	var eb struct {
+		Error string `json:"error"`
+		Field string `json:"field"`
+	}
+	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
+	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
+		apiErr.Message, apiErr.Field = eb.Error, eb.Field
+	} else {
+		apiErr.Message = strings.TrimSpace(string(raw))
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
+			apiErr.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return nil, apiErr
+}
+
+// postJSON runs the retry loop and decodes a JSON reply into out.
+func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return err
+	}
+	resp, err := c.do(ctx, http.MethodPost, path, body)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Solve solves one net. When hedging is armed (WithHedging) and the
+// first request has not answered within the hint, a second identical
+// request races it and the first response wins — safe because solves are
+// idempotent and cached server-side.
+func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResult, error) {
+	if c.hedgeAfter <= 0 {
+		var out SolveResult
+		if err := c.postJSON(ctx, "/v1/solve", &req, &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+	return c.hedgedSolve(ctx, req)
+}
+
+func (c *Client) hedgedSolve(ctx context.Context, req SolveRequest) (*SolveResult, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the loser is canceled on return
+	type outcome struct {
+		res *SolveResult
+		err error
+	}
+	results := make(chan outcome, 2)
+	launch := func() {
+		var out SolveResult
+		err := c.postJSON(ctx, "/v1/solve", &req, &out)
+		if err != nil {
+			results <- outcome{err: err}
+			return
+		}
+		results <- outcome{res: &out}
+	}
+	go launch()
+	hedge := time.NewTimer(c.hedgeAfter)
+	defer hedge.Stop()
+	inFlight, hedged := 1, false
+	var firstErr error
+	for {
+		select {
+		case <-hedge.C:
+			if !hedged {
+				hedged = true
+				inFlight++
+				go launch()
+			}
+		case o := <-results:
+			if o.err == nil {
+				return o.res, nil // first success wins; cancel() stops the loser
+			}
+			if firstErr == nil {
+				firstErr = o.err
+			}
+			if inFlight--; inFlight == 0 {
+				return nil, firstErr
+			}
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+// Yield runs Monte Carlo / multi-corner yield analysis on one net.
+func (c *Client) Yield(ctx context.Context, req YieldRequest) (*YieldResult, error) {
+	var out YieldResult
+	if err := c.postJSON(ctx, "/v1/yield", &req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready probes GET /readyz. It returns nil when the server accepts new
+// work and an *APIError (status 503) while it drains. A probe reports
+// the instantaneous state, so it never retries.
+func (c *Client) Ready(ctx context.Context) error {
+	resp, err := c.attempt(ctx, http.MethodGet, "/readyz", nil)
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	return nil
+}
+
+// Metrics fetches GET /metrics as raw JSON values, keyed by counter name.
+func (c *Client) Metrics(ctx context.Context) (map[string]json.RawMessage, error) {
+	resp, err := c.do(ctx, http.MethodGet, "/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var m map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// retryBudget is the token bucket bounding retry volume.
+type retryBudget struct {
+	mu     sync.Mutex
+	ratio  float64
+	burst  float64
+	tokens float64
+}
+
+func newRetryBudget(ratio float64, burst int) *retryBudget {
+	if ratio <= 0 {
+		return nil
+	}
+	if burst <= 0 {
+		burst = 10
+	}
+	return &retryBudget{ratio: ratio, burst: float64(burst), tokens: float64(burst)}
+}
+
+// allow spends one token for a retry; false means the budget is dry.
+func (b *retryBudget) allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// deposit credits a successful request.
+func (b *retryBudget) deposit() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.tokens = min(b.tokens+b.ratio, b.burst)
+}
+
+// sleepCtx sleeps for d or until ctx fires.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

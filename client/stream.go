@@ -1,0 +1,106 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// BatchStream iterates a /v1/batch NDJSON response. Not safe for
+// concurrent use. Close it when done (early Close aborts the server-side
+// batch via the request context).
+type BatchStream struct {
+	resp   *http.Response
+	sc     *bufio.Scanner
+	cancel context.CancelFunc
+	// complete flips when the stream drained without a terminal error
+	// record — the server's contract for "every net was delivered".
+	complete bool
+	err      error
+}
+
+// Batch starts a batch solve and returns the result stream. The retry
+// loop applies only up to obtaining the response — once any line has
+// been consumed the stream is never retried; a cut or truncated stream
+// surfaces from Next as an error (ErrTruncated for the server's in-band
+// abort record) and resuming is the caller's decision.
+func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchStream, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	// A child context detaches the stream's lifetime from the retry
+	// loop's: Close cancels it to abort the server-side batch.
+	ctx, cancel := context.WithCancel(ctx)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/batch", body)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &BatchStream{resp: resp, sc: sc, cancel: cancel}, nil
+}
+
+// Next returns the next batch line, or io.EOF after the last one. A
+// truncated stream returns an error wrapping ErrTruncated; a dead
+// connection returns the transport error. Neither is retried here.
+func (s *BatchStream) Next() (*BatchLine, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for s.sc.Scan() {
+		if len(s.sc.Bytes()) == 0 {
+			continue
+		}
+		var line BatchLine
+		if err := json.Unmarshal(s.sc.Bytes(), &line); err != nil {
+			s.err = fmt.Errorf("bufferkitd: bad NDJSON line: %w", err)
+			return nil, s.err
+		}
+		if line.Index < 0 {
+			// The server's in-band abort record: the batch ended early.
+			s.err = fmt.Errorf("%w: %s", ErrTruncated, line.Error)
+			return nil, s.err
+		}
+		return &line, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = err
+		return nil, err
+	}
+	s.complete = true
+	s.err = io.EOF
+	return nil, io.EOF
+}
+
+// Collect drains the stream into a slice indexed by input position.
+// Lines carrying per-net errors are returned in place (Result nil,
+// Error set). On truncation it returns the lines received so far
+// alongside the ErrTruncated-wrapping error.
+func (s *BatchStream) Collect(n int) ([]*BatchLine, error) {
+	lines := make([]*BatchLine, n)
+	for {
+		line, err := s.Next()
+		if err == io.EOF {
+			return lines, nil
+		}
+		if err != nil {
+			return lines, err
+		}
+		if line.Index >= 0 && line.Index < n {
+			lines[line.Index] = line
+		}
+	}
+}
+
+// Close releases the stream; abandoning it mid-batch cancels the
+// server-side workers through the request context.
+func (s *BatchStream) Close() error {
+	s.cancel()
+	io.Copy(io.Discard, io.LimitReader(s.resp.Body, 1<<20))
+	return s.resp.Body.Close()
+}

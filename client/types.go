@@ -1,0 +1,125 @@
+package client
+
+import "encoding/json"
+
+// Wire types mirroring bufferkitd's JSON API. They are declared here
+// rather than imported so the client stays a pure HTTP consumer — the
+// same shapes any non-Go client would code against.
+
+// SolveOptions are the algorithm-selection fields shared by solve, batch
+// and yield requests.
+type SolveOptions struct {
+	// Algorithm is a registry name ("" = the paper's O(bn²) algorithm).
+	Algorithm string `json:"algorithm,omitempty"`
+	// Prune is "transient" (default) or "destructive".
+	Prune string `json:"prune,omitempty"`
+	// Backend pins a candidate-list representation: "list", "soa" or ""
+	// for the server default.
+	Backend string `json:"backend,omitempty"`
+	// MaxCost caps total buffer cost (costslack only; 0 = no cap).
+	MaxCost int `json:"max_cost,omitempty"`
+	// NoStats skips Stats on the reply.
+	NoStats bool `json:"no_stats,omitempty"`
+	// TimeoutMs overrides the server's default solve budget.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// SolveRequest is the POST /v1/solve payload.
+type SolveRequest struct {
+	// Net is the net in bufferkit's .net text format.
+	Net string `json:"net"`
+	// Library is the buffer library in the .buf text format.
+	Library string `json:"library"`
+	SolveOptions
+}
+
+// SolveResult is the POST /v1/solve reply and the per-net result of a
+// batch line.
+type SolveResult struct {
+	Net        string            `json:"net,omitempty"`
+	Algorithm  string            `json:"algorithm"`
+	Slack      float64           `json:"slack"`
+	Buffers    int               `json:"buffers"`
+	Cost       int               `json:"cost"`
+	Candidates int               `json:"candidates,omitempty"`
+	Placement  map[string]string `json:"placement"`
+	// Stats carries the algorithm's instrumentation verbatim; its fields
+	// depend on the algorithm, so it stays raw JSON here.
+	Stats    json.RawMessage `json:"stats,omitempty"`
+	Frontier []FrontierPoint `json:"frontier,omitempty"`
+	// Cached: served from the LRU cache; Coalesced: shared from another
+	// caller's in-flight engine run. Either way no engine ran for this
+	// request.
+	Cached    bool    `json:"cached"`
+	Coalesced bool    `json:"coalesced,omitempty"`
+	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+}
+
+// FrontierPoint is one cost–slack Pareto point (costslack).
+type FrontierPoint struct {
+	Cost    int     `json:"cost"`
+	Slack   float64 `json:"slack"`
+	Buffers int     `json:"buffers"`
+}
+
+// BatchRequest is the POST /v1/batch payload.
+type BatchRequest struct {
+	// Library is shared by every net of the batch.
+	Library string `json:"library"`
+	// Nets are the .net texts to solve.
+	Nets []string `json:"nets"`
+	// Ordered asks for input-order lines instead of completion order.
+	Ordered bool `json:"ordered,omitempty"`
+	SolveOptions
+}
+
+// BatchLine is one NDJSON line of the batch stream. Exactly one of
+// Result and Error is set; Index -1 with Error set is the server's
+// terminal truncation record, surfaced by BatchStream.Next as
+// ErrTruncated rather than as a line.
+type BatchLine struct {
+	Index  int          `json:"index"`
+	Result *SolveResult `json:"result,omitempty"`
+	Error  string       `json:"error,omitempty"`
+}
+
+// YieldRequest is the POST /v1/yield payload.
+type YieldRequest struct {
+	Net            string  `json:"net"`
+	Library        string  `json:"library"`
+	Samples        int     `json:"samples,omitempty"`
+	Sigma          float64 `json:"sigma,omitempty"`
+	Seed           *int64  `json:"seed,omitempty"`
+	Target         float64 `json:"target,omitempty"`
+	Robust         bool    `json:"robust,omitempty"`
+	ProcessCorners bool    `json:"process_corners,omitempty"`
+	SolveOptions
+}
+
+// YieldResult is the POST /v1/yield reply.
+type YieldResult struct {
+	Net          string  `json:"net,omitempty"`
+	Algorithm    string  `json:"algorithm"`
+	Samples      int     `json:"samples"`
+	Target       float64 `json:"target"`
+	Robust       bool    `json:"robust"`
+	Yield        float64 `json:"yield"`
+	OptimalYield float64 `json:"optimal_yield"`
+	Slack        struct {
+		Mean float64 `json:"mean"`
+		Std  float64 `json:"std"`
+		Min  float64 `json:"min"`
+		Max  float64 `json:"max"`
+		P5   float64 `json:"p5"`
+		P50  float64 `json:"p50"`
+		P95  float64 `json:"p95"`
+	} `json:"slack"`
+	WorstCorner string            `json:"worst_corner"`
+	WorstSlack  float64           `json:"worst_slack"`
+	Chosen      int               `json:"chosen"`
+	Placement   map[string]string `json:"placement"`
+	Buffers     int               `json:"buffers"`
+	Cost        int               `json:"cost"`
+	Cached      bool              `json:"cached"`
+	ElapsedMs   float64           `json:"elapsed_ms,omitempty"`
+}

@@ -6,6 +6,11 @@
 //
 //	bufferkitd [-addr :8080] [-concurrency 0] [-cache 4096]
 //	           [-timeout 30s] [-max-timeout 5m] [-max-body 16777216]
+//	           [-max-queue 0] [-queue-timeout 10s] [-drain-wait 0]
+//
+// Every flag also reads a BUFFERKITD_* environment variable (flag name
+// upper-snake-cased: -max-queue → BUFFERKITD_MAX_QUEUE). An explicit
+// flag wins over the environment.
 //
 // Endpoints (see internal/server for the full protocol):
 //
@@ -14,10 +19,13 @@
 //	POST /v1/yield      Monte Carlo / multi-corner yield analysis
 //	GET  /v1/algorithms algorithm registry with descriptions
 //	GET  /healthz       liveness probe
+//	GET  /readyz        readiness probe (503 while draining)
 //	GET  /metrics       expvar counters as JSON
 //
-// SIGINT/SIGTERM drain gracefully: the listener closes, in-flight solves
-// run to completion (or their deadline), then the process exits.
+// SIGINT/SIGTERM drain gracefully in load-balancer-safe order: /readyz
+// flips to 503 first, the process keeps accepting for -drain-wait so
+// balancers can observe the flip and stop routing, then the listener
+// closes and in-flight solves run to completion (or their deadline).
 package main
 
 import (
@@ -30,51 +38,113 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"bufferkit/internal/server"
 )
 
-func main() {
+// options is everything parseFlags decides: the listen address, the
+// server config, and the two shutdown knobs.
+type options struct {
+	addr      string
+	cfg       server.Config
+	grace     time.Duration
+	drainWait time.Duration
+}
+
+// parseFlags builds the daemon's options from argv and the environment.
+// Precedence per knob: explicit flag > BUFFERKITD_* variable > default.
+// getenv is injected so tests don't mutate the process environment.
+func parseFlags(args []string, getenv func(string) string) (*options, error) {
+	fs := flag.NewFlagSet("bufferkitd", flag.ContinueOnError)
 	var (
-		addr        = flag.String("addr", ":8080", "listen address")
-		concurrency = flag.Int("concurrency", 0, "max concurrent engine runs (0 = GOMAXPROCS)")
-		cacheSize   = flag.Int("cache", 4096, "result-cache entries (negative = disable)")
-		timeout     = flag.Duration("timeout", 30*time.Second, "default per-request solve budget")
-		maxTimeout  = flag.Duration("max-timeout", 5*time.Minute, "cap on client-requested budgets")
-		maxBody     = flag.Int64("max-body", 16<<20, "max request body bytes")
-		maxBatch    = flag.Int("max-batch", 10000, "max nets per /v1/batch request")
-		maxYield    = flag.Int("max-yield-samples", 1024, "max Monte Carlo samples per /v1/yield request")
-		grace       = flag.Duration("grace", 30*time.Second, "shutdown grace period")
+		addr         = fs.String("addr", ":8080", "listen address")
+		concurrency  = fs.Int("concurrency", 0, "max concurrent engine runs (0 = GOMAXPROCS)")
+		cacheSize    = fs.Int("cache", 4096, "result-cache entries (negative = disable)")
+		timeout      = fs.Duration("timeout", 30*time.Second, "default per-request solve budget")
+		maxTimeout   = fs.Duration("max-timeout", 5*time.Minute, "cap on client-requested budgets")
+		maxBody      = fs.Int64("max-body", 16<<20, "max request body bytes")
+		maxBatch     = fs.Int("max-batch", 10000, "max nets per /v1/batch request")
+		maxYield     = fs.Int("max-yield-samples", 1024, "max Monte Carlo samples per /v1/yield request")
+		maxQueue     = fs.Int("max-queue", 0, "admission queue length (0 = 8x concurrency, negative = no queue)")
+		queueTimeout = fs.Duration("queue-timeout", 0, "max admission-queue wait (0 = 10s, negative = wait for the request deadline)")
+		grace        = fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight solves")
+		drainWait    = fs.Duration("drain-wait", 0, "delay between flipping /readyz to 503 and closing the listener")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected argument %q", fs.Arg(0))
+	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	var envErr error
+	fs.VisitAll(func(f *flag.Flag) {
+		if set[f.Name] || envErr != nil {
+			return
+		}
+		key := "BUFFERKITD_" + strings.ReplaceAll(strings.ToUpper(f.Name), "-", "_")
+		if v := getenv(key); v != "" {
+			if err := fs.Set(f.Name, v); err != nil {
+				envErr = fmt.Errorf("%s=%q: %w", key, v, err)
+			}
+		}
+	})
+	if envErr != nil {
+		return nil, envErr
+	}
+	return &options{
+		addr: *addr,
+		cfg: server.Config{
+			MaxConcurrent:   *concurrency,
+			CacheEntries:    *cacheSize,
+			DefaultTimeout:  *timeout,
+			MaxTimeout:      *maxTimeout,
+			MaxBodyBytes:    *maxBody,
+			MaxBatchNets:    *maxBatch,
+			MaxYieldSamples: *maxYield,
+			MaxQueue:        *maxQueue,
+			QueueTimeout:    *queueTimeout,
+		},
+		grace:     *grace,
+		drainWait: *drainWait,
+	}, nil
+}
+
+func main() {
+	opts, err := parseFlags(os.Args[1:], os.Getenv)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			os.Exit(0)
+		}
+		fmt.Fprintln(os.Stderr, "bufferkitd:", err)
+		os.Exit(2)
+	}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
-	if err := run(ctx, *addr, server.Config{
-		MaxConcurrent:   *concurrency,
-		CacheEntries:    *cacheSize,
-		DefaultTimeout:  *timeout,
-		MaxTimeout:      *maxTimeout,
-		MaxBodyBytes:    *maxBody,
-		MaxBatchNets:    *maxBatch,
-		MaxYieldSamples: *maxYield,
-	}, *grace); err != nil {
+	if err := run(ctx, opts); err != nil {
 		fmt.Fprintln(os.Stderr, "bufferkitd:", err)
 		os.Exit(1)
 	}
 }
 
 // run serves until ctx is canceled (SIGINT/SIGTERM in main), then drains
-// gracefully within the grace period. listening, when non-nil, receives
-// the bound address once the listener is up (used by tests binding :0).
-func run(ctx context.Context, addr string, cfg server.Config, grace time.Duration, listening ...chan<- string) error {
-	ln, err := net.Listen("tcp", addr)
+// in order: /readyz goes 503, drainWait elapses with the listener still
+// accepting (so load balancers see the flip before connections start
+// failing), then the listener closes and in-flight requests get the
+// grace period. listening, when non-nil, receives the bound address once
+// the listener is up (used by tests binding :0).
+func run(ctx context.Context, opts *options, listening ...chan<- string) error {
+	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
 	}
+	s := server.New(opts.cfg)
 	srv := &http.Server{
-		Handler:           server.New(cfg).Handler(),
+		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	log.Printf("bufferkitd: listening on %s", ln.Addr())
@@ -89,8 +159,13 @@ func run(ctx context.Context, addr string, cfg server.Config, grace time.Duratio
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("bufferkitd: shutting down (grace %s)", grace)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), grace)
+	s.SetDraining(true)
+	log.Printf("bufferkitd: draining (readyz 503, closing listener in %s, grace %s)",
+		opts.drainWait, opts.grace)
+	if opts.drainWait > 0 {
+		time.Sleep(opts.drainWait)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), opts.grace)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)

@@ -7,9 +7,138 @@ import (
 	"strings"
 	"testing"
 	"time"
-
-	"bufferkit/internal/server"
 )
+
+func noEnv(string) string { return "" }
+
+func env(m map[string]string) func(string) string {
+	return func(k string) string { return m[k] }
+}
+
+func TestParseFlagsDefaults(t *testing.T) {
+	opts, err := parseFlags(nil, noEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != ":8080" {
+		t.Errorf("addr = %q", opts.addr)
+	}
+	if opts.cfg.CacheEntries != 4096 || opts.cfg.MaxBodyBytes != 16<<20 {
+		t.Errorf("cfg = %+v", opts.cfg)
+	}
+	if opts.cfg.MaxQueue != 0 || opts.cfg.QueueTimeout != 0 {
+		t.Errorf("queue defaults = %d, %s (want zero values, the server picks the real defaults)",
+			opts.cfg.MaxQueue, opts.cfg.QueueTimeout)
+	}
+	if opts.grace != 30*time.Second || opts.drainWait != 0 {
+		t.Errorf("grace = %s, drainWait = %s", opts.grace, opts.drainWait)
+	}
+}
+
+func TestParseFlagsExplicit(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-addr", "127.0.0.1:9090",
+		"-concurrency", "3",
+		"-max-queue", "-1",
+		"-queue-timeout", "250ms",
+		"-drain-wait", "2s",
+	}, noEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != "127.0.0.1:9090" || opts.cfg.MaxConcurrent != 3 {
+		t.Errorf("opts = %+v", opts)
+	}
+	if opts.cfg.MaxQueue != -1 || opts.cfg.QueueTimeout != 250*time.Millisecond {
+		t.Errorf("queue knobs = %d, %s", opts.cfg.MaxQueue, opts.cfg.QueueTimeout)
+	}
+	if opts.drainWait != 2*time.Second {
+		t.Errorf("drainWait = %s", opts.drainWait)
+	}
+}
+
+func TestParseFlagsEnvFallback(t *testing.T) {
+	opts, err := parseFlags(nil, env(map[string]string{
+		"BUFFERKITD_ADDR":          ":7070",
+		"BUFFERKITD_MAX_QUEUE":     "16",
+		"BUFFERKITD_QUEUE_TIMEOUT": "1s",
+		"BUFFERKITD_DRAIN_WAIT":    "500ms",
+		"BUFFERKITD_CACHE":         "128",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != ":7070" || opts.cfg.MaxQueue != 16 ||
+		opts.cfg.QueueTimeout != time.Second || opts.cfg.CacheEntries != 128 {
+		t.Errorf("env fallback not applied: %+v", opts)
+	}
+	if opts.drainWait != 500*time.Millisecond {
+		t.Errorf("drainWait = %s", opts.drainWait)
+	}
+}
+
+// TestParseFlagsEnvLosesToFlag: an explicit flag beats its environment
+// variable.
+func TestParseFlagsEnvLosesToFlag(t *testing.T) {
+	opts, err := parseFlags([]string{"-addr", ":1111"}, env(map[string]string{
+		"BUFFERKITD_ADDR":  ":2222",
+		"BUFFERKITD_CACHE": "99",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.addr != ":1111" {
+		t.Errorf("addr = %q, flag must win over env", opts.addr)
+	}
+	if opts.cfg.CacheEntries != 99 {
+		t.Errorf("cache = %d, untouched flags still read env", opts.cfg.CacheEntries)
+	}
+}
+
+func TestParseFlagsBadValues(t *testing.T) {
+	if _, err := parseFlags([]string{"-concurrency", "lots"}, noEnv); err == nil {
+		t.Error("bad flag value accepted")
+	}
+	if _, err := parseFlags(nil, env(map[string]string{
+		"BUFFERKITD_QUEUE_TIMEOUT": "soon",
+	})); err == nil {
+		t.Error("bad env value accepted")
+	} else if !strings.Contains(err.Error(), "BUFFERKITD_QUEUE_TIMEOUT") {
+		t.Errorf("env error does not name the variable: %v", err)
+	}
+	if _, err := parseFlags([]string{"stray"}, noEnv); err == nil {
+		t.Error("stray positional argument accepted")
+	}
+}
+
+// startRun boots run() on a random port and returns the bound address
+// plus the done channel.
+func startRun(t *testing.T, ctx context.Context, opts *options) (string, chan error) {
+	t.Helper()
+	listening := make(chan string, 1)
+	done := make(chan error, 1)
+	go func() { done <- run(ctx, opts, listening) }()
+	select {
+	case addr := <-listening:
+		return addr, done
+	case err := <-done:
+		t.Fatalf("server exited before listening: %v", err)
+	case <-time.After(5 * time.Second):
+		t.Fatal("server never started listening")
+	}
+	panic("unreachable")
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, string(body)
+}
 
 // TestRunServesAndDrains boots the real server on a random port, checks a
 // live endpoint, then cancels the context and asserts a clean drain —
@@ -17,28 +146,13 @@ import (
 func TestRunServesAndDrains(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	listening := make(chan string, 1)
-	done := make(chan error, 1)
-	go func() {
-		done <- run(ctx, "127.0.0.1:0", server.Config{}, 5*time.Second, listening)
-	}()
-	var addr string
-	select {
-	case addr = <-listening:
-	case err := <-done:
-		t.Fatalf("server exited before listening: %v", err)
-	case <-time.After(5 * time.Second):
-		t.Fatal("server never started listening")
-	}
+	addr, done := startRun(t, ctx, &options{addr: "127.0.0.1:0", grace: 5 * time.Second})
 
-	resp, err := http.Get("http://" + addr + "/healthz")
-	if err != nil {
-		t.Fatalf("GET /healthz: %v", err)
+	if code, body := get(t, "http://"+addr+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz = %d %q", code, body)
 	}
-	body, _ := io.ReadAll(resp.Body)
-	resp.Body.Close()
-	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
-		t.Fatalf("healthz = %d %q", resp.StatusCode, body)
+	if code, _ := get(t, "http://"+addr+"/readyz"); code != http.StatusOK {
+		t.Fatalf("readyz = %d before drain", code)
 	}
 
 	cancel()
@@ -52,9 +166,57 @@ func TestRunServesAndDrains(t *testing.T) {
 	}
 }
 
+// TestRunDrainOrdering: after SIGTERM, /readyz reports 503 while the
+// listener is still accepting — the window load balancers need to stop
+// routing before connections start failing.
+func TestRunDrainOrdering(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done := startRun(t, ctx, &options{
+		addr:      "127.0.0.1:0",
+		grace:     5 * time.Second,
+		drainWait: 500 * time.Millisecond,
+	})
+	cancel() // the SIGTERM
+
+	// Within the drain window the listener must still serve, and readyz
+	// must already be 503.
+	deadline := time.Now().Add(400 * time.Millisecond)
+	sawNotReady := false
+	for time.Now().Before(deadline) {
+		resp, err := http.Get("http://" + addr + "/readyz")
+		if err != nil {
+			t.Fatalf("listener closed inside the drain window: %v", err)
+		}
+		code := resp.StatusCode
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if code == http.StatusServiceUnavailable {
+			sawNotReady = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawNotReady {
+		t.Fatal("readyz never went 503 while the listener was still open")
+	}
+	// Liveness is unaffected by draining.
+	if code, _ := get(t, "http://"+addr+"/healthz"); code != http.StatusOK {
+		t.Fatalf("healthz = %d during drain, liveness must stay 200", code)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not exit after the drain window")
+	}
+}
+
 // TestRunBadAddr: an unbindable address fails fast instead of hanging.
 func TestRunBadAddr(t *testing.T) {
-	err := run(context.Background(), "256.256.256.256:1", server.Config{}, time.Second)
+	err := run(context.Background(), &options{addr: "256.256.256.256:1", grace: time.Second})
 	if err == nil {
 		t.Fatal("expected listen error")
 	}

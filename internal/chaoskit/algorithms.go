@@ -1,0 +1,118 @@
+package chaoskit
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"bufferkit"
+)
+
+// Chaos algorithm registry names. RegisterAlgorithms installs them.
+const (
+	// AlgoSlow sleeps for the configured delay (SetSlowDelay) before
+	// returning a trivial result; the request context is honored.
+	AlgoSlow = "chaos-slow"
+	// AlgoGate blocks every Solve until the gate opened by HoldGate is
+	// released; the request context is honored.
+	AlgoGate = "chaos-gate"
+	// AlgoPanic panics inside the engine run.
+	AlgoPanic = "chaos-panic"
+)
+
+// PanicMessage is the value AlgoPanic panics with.
+const PanicMessage = "chaoskit: injected engine panic"
+
+var (
+	registerOnce sync.Once
+
+	// slowDelayNS is the AlgoSlow sleep, in nanoseconds.
+	slowDelayNS atomic.Int64
+
+	// gateMu guards gate, the channel AlgoGate blocks on. A nil gate is
+	// open (no blocking).
+	gateMu sync.Mutex
+	gate   chan struct{}
+)
+
+// RegisterAlgorithms installs the chaos algorithms in the bufferkit
+// registry. Idempotent; safe from multiple test packages in one process.
+func RegisterAlgorithms() {
+	registerOnce.Do(func() {
+		slowDelayNS.Store(int64(50 * time.Millisecond))
+		bufferkit.Register(AlgoSlow, func() bufferkit.Algorithm { return chaosAlgo{name: AlgoSlow} })
+		bufferkit.Register(AlgoGate, func() bufferkit.Algorithm { return chaosAlgo{name: AlgoGate} })
+		bufferkit.Register(AlgoPanic, func() bufferkit.Algorithm { return chaosAlgo{name: AlgoPanic} })
+	})
+}
+
+// SetSlowDelay configures how long AlgoSlow holds an engine slot.
+func SetSlowDelay(d time.Duration) { slowDelayNS.Store(int64(d)) }
+
+// HoldGate closes the AlgoGate path: every Solve blocks until the
+// returned release function is called. Release is idempotent.
+func HoldGate() (release func()) {
+	ch := make(chan struct{})
+	gateMu.Lock()
+	gate = ch
+	gateMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			gateMu.Lock()
+			if gate == ch {
+				gate = nil
+			}
+			gateMu.Unlock()
+			close(ch)
+		})
+	}
+}
+
+// canceled wraps a fired context error per the Algorithm contract: on
+// cancellation, Solve returns an error wrapping bufferkit.ErrCanceled.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("%w: %v", bufferkit.ErrCanceled, ctx.Err())
+}
+
+// chaosAlgo implements bufferkit.Algorithm for the three chaos behaviors.
+type chaosAlgo struct{ name string }
+
+func (a chaosAlgo) Name() string { return a.name }
+
+func (a chaosAlgo) Description() string {
+	return "chaoskit fault-injection algorithm (testing only)"
+}
+
+func (a chaosAlgo) Solve(ctx context.Context, t *bufferkit.Tree, cfg bufferkit.RunConfig) (*bufferkit.NetResult, error) {
+	switch a.name {
+	case AlgoPanic:
+		panic(PanicMessage)
+	case AlgoSlow:
+		if d := time.Duration(slowDelayNS.Load()); d > 0 {
+			select {
+			case <-time.After(d):
+			case <-ctx.Done():
+				return nil, canceled(ctx)
+			}
+		}
+	case AlgoGate:
+		gateMu.Lock()
+		ch := gate
+		gateMu.Unlock()
+		if ch != nil {
+			select {
+			case <-ch:
+			case <-ctx.Done():
+				return nil, canceled(ctx)
+			}
+		}
+	}
+	// A trivial but well-formed result: no buffers anywhere.
+	return &bufferkit.NetResult{
+		Slack:     0,
+		Placement: bufferkit.NewPlacement(t.Len()),
+	}, nil
+}

@@ -1,0 +1,226 @@
+// Package chaoskit is bufferkit's fault-injection toolkit. It exists for
+// the TestChaos* suite: every resilience claim the server makes (load
+// shedding, singleflight collapse, panic containment, client retry
+// semantics) is proved against faults injected here rather than asserted
+// from code reading.
+//
+// Three fault surfaces:
+//
+//   - Transport: an http.RoundTripper that drops, delays, or rewrites
+//     requests, and can cut a response body mid-stream — the client-side
+//     view of a misbehaving network.
+//   - Listener: a net.Listener whose accepted connections reset after a
+//     byte budget — the server-side view of a flaky L4 path.
+//   - Chaos algorithms: "chaos-slow", "chaos-gate" and "chaos-panic"
+//     engine algorithms registered with the bufferkit registry, so a test
+//     can make the engine arbitrarily slow, block it deterministically, or
+//     blow it up on demand through the public HTTP API.
+//
+// Everything here is deterministic: faults fire on a scripted schedule,
+// never randomly, so chaos tests are reproducible failures, not flaky
+// ones.
+package chaoskit
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Fault scripts the treatment of one request through Transport. The zero
+// value is a clean passthrough.
+type Fault struct {
+	// Drop fails the request immediately with a synthetic connection
+	// error, before anything is sent.
+	Drop bool
+	// Delay pauses before forwarding (or before the synthetic response).
+	// The request context is honored during the pause.
+	Delay time.Duration
+	// Status, when nonzero, synthesizes a response with this status code,
+	// Header and Body instead of forwarding to the base transport.
+	Status int
+	Header http.Header
+	Body   string
+	// CutBodyAfter, when positive, forwards the request but truncates the
+	// response body with a connection error after this many bytes — a
+	// mid-stream cut, as seen from a reset TCP connection.
+	CutBodyAfter int64
+}
+
+// Transport is a fault-injecting http.RoundTripper. Faults are consumed
+// in FIFO order, one per request; when the script is empty requests pass
+// through untouched. Safe for concurrent use.
+type Transport struct {
+	// Base handles forwarded requests (nil = http.DefaultTransport).
+	Base http.RoundTripper
+
+	mu     sync.Mutex
+	script []Fault
+	sent   int
+}
+
+// Push appends faults to the script.
+func (t *Transport) Push(faults ...Fault) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.script = append(t.script, faults...)
+}
+
+// Requests reports how many requests the transport has seen — the
+// attempt counter chaos tests assert retry budgets against.
+func (t *Transport) Requests() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sent
+}
+
+// next pops the next scripted fault (zero Fault when the script is dry).
+func (t *Transport) next() Fault {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.sent++
+	if len(t.script) == 0 {
+		return Fault{}
+	}
+	f := t.script[0]
+	t.script = t.script[1:]
+	return f
+}
+
+// errInjected is the synthetic connection failure for Drop and body cuts.
+type errInjected struct{ op string }
+
+func (e *errInjected) Error() string { return "chaoskit: injected " + e.op }
+
+// Timeout marks the injected error as a timeout so net.Error consumers
+// treat it like a real dead connection.
+func (e *errInjected) Timeout() bool   { return true }
+func (e *errInjected) Temporary() bool { return true }
+
+// RoundTrip applies the next scripted fault to req.
+func (t *Transport) RoundTrip(req *http.Request) (*http.Response, error) {
+	f := t.next()
+	if f.Delay > 0 {
+		select {
+		case <-time.After(f.Delay):
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		}
+	}
+	if f.Drop {
+		// Drain and close the body like a real transport would on a
+		// connection failure, so callers can reuse buffers.
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		return nil, &errInjected{op: "connection drop"}
+	}
+	if f.Status != 0 {
+		if req.Body != nil {
+			io.Copy(io.Discard, req.Body)
+			req.Body.Close()
+		}
+		h := f.Header
+		if h == nil {
+			h = http.Header{}
+		}
+		return &http.Response{
+			Status:        fmt.Sprintf("%d %s", f.Status, http.StatusText(f.Status)),
+			StatusCode:    f.Status,
+			Proto:         "HTTP/1.1",
+			ProtoMajor:    1,
+			ProtoMinor:    1,
+			Header:        h.Clone(),
+			Body:          io.NopCloser(strings.NewReader(f.Body)),
+			ContentLength: int64(len(f.Body)),
+			Request:       req,
+		}, nil
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	resp, err := base.RoundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if f.CutBodyAfter > 0 {
+		resp.Body = &cutBody{rc: resp.Body, remaining: f.CutBodyAfter}
+	}
+	return resp, nil
+}
+
+// cutBody truncates a response body with a synthetic connection error
+// after a byte budget.
+type cutBody struct {
+	rc        io.ReadCloser
+	remaining int64
+}
+
+func (c *cutBody) Read(p []byte) (int, error) {
+	if c.remaining <= 0 {
+		return 0, &errInjected{op: "mid-stream cut"}
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.rc.Read(p)
+	c.remaining -= int64(n)
+	if err == nil && c.remaining <= 0 {
+		// Deliver the bytes read so far; the next Read reports the cut.
+		return n, nil
+	}
+	return n, err
+}
+
+func (c *cutBody) Close() error { return c.rc.Close() }
+
+// Listener wraps a net.Listener so every accepted connection resets
+// (closes abruptly) after writing MaxWriteBytes — the server-side shape
+// of a flaky network path. MaxWriteBytes <= 0 passes connections through
+// untouched.
+type Listener struct {
+	net.Listener
+	// MaxWriteBytes is the per-connection write budget before the reset.
+	MaxWriteBytes int64
+}
+
+// Accept wraps the accepted connection with the write budget.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil || l.MaxWriteBytes <= 0 {
+		return c, err
+	}
+	return &limitConn{Conn: c, remaining: l.MaxWriteBytes}, nil
+}
+
+// limitConn closes the connection once its write budget is spent.
+type limitConn struct {
+	net.Conn
+	mu        sync.Mutex
+	remaining int64
+}
+
+func (c *limitConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.remaining <= 0 {
+		c.Conn.Close()
+		return 0, &errInjected{op: "connection reset"}
+	}
+	if int64(len(p)) > c.remaining {
+		p = p[:c.remaining]
+	}
+	n, err := c.Conn.Write(p)
+	c.remaining -= int64(n)
+	if err == nil && c.remaining <= 0 {
+		c.Conn.Close()
+		return n, &errInjected{op: "connection reset"}
+	}
+	return n, err
+}

@@ -1,0 +1,234 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestEWMA(t *testing.T) {
+	e := NewEWMA(0.5)
+	if e.Value() != 0 {
+		t.Fatalf("fresh EWMA = %v, want 0", e.Value())
+	}
+	e.Observe(100 * time.Millisecond)
+	if got := e.Value(); got != 100*time.Millisecond {
+		t.Fatalf("first observation = %v, want 100ms", got)
+	}
+	e.Observe(200 * time.Millisecond)
+	if got := e.Value(); got != 150*time.Millisecond {
+		t.Fatalf("after 100,200 at alpha .5 = %v, want 150ms", got)
+	}
+}
+
+func TestAcquireFastPath(t *testing.T) {
+	c := NewController(Config{Slots: 2})
+	ctx := context.Background()
+	if err := c.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Acquire(ctx); err != nil {
+		t.Fatal(err)
+	}
+	c.Release(2)
+	if got := c.Counters().Admitted; got != 2 {
+		t.Fatalf("admitted = %d, want 2", got)
+	}
+}
+
+// TestShedQueueFull: with zero queue capacity, a busy controller sheds
+// immediately with ShedQueueFull.
+func TestShedQueueFull(t *testing.T) {
+	c := NewController(Config{Slots: 1, MaxQueue: 0})
+	if err := c.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release(1)
+	err := c.Acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedQueueFull {
+		t.Fatalf("err = %v, want ShedQueueFull", err)
+	}
+	if got := c.Counters().ShedQueueFull; got != 1 {
+		t.Fatalf("ShedQueueFull counter = %d, want 1", got)
+	}
+}
+
+// TestShedDeadline: once the EWMA knows solves take ~50ms, a contended
+// request with only 1ms of budget is rejected without queueing.
+func TestShedDeadline(t *testing.T) {
+	c := NewController(Config{Slots: 1, MaxQueue: 8})
+	c.Observe(50 * time.Millisecond)
+	if err := c.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	err := c.Acquire(ctx)
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedDeadline {
+		t.Fatalf("err = %v, want ShedDeadline", err)
+	}
+	if shed.RetryAfter <= 0 {
+		t.Fatalf("RetryAfter = %v, want > 0 with a warm EWMA", shed.RetryAfter)
+	}
+	// A generous deadline still queues (and then gets the slot on release).
+	ctx2, cancel2 := context.WithTimeout(context.Background(), time.Second)
+	defer cancel2()
+	done := make(chan error, 1)
+	go func() { done <- c.Acquire(ctx2) }()
+	waitForDepth(t, c, 1)
+	c.Release(1)
+	if err := <-done; err != nil {
+		t.Fatalf("queued acquire failed: %v", err)
+	}
+	c.Release(1)
+}
+
+// TestShedQueueTimeout: a waiter is converted to a fast failure after
+// QueueTimeout even though its own context is still alive.
+func TestShedQueueTimeout(t *testing.T) {
+	c := NewController(Config{Slots: 1, MaxQueue: 4, QueueTimeout: 20 * time.Millisecond})
+	if err := c.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release(1)
+	start := time.Now()
+	err := c.Acquire(context.Background())
+	var shed *ShedError
+	if !errors.As(err, &shed) || shed.Reason != ShedQueueTimeout {
+		t.Fatalf("err = %v, want ShedQueueTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Fatalf("shed after %v, before the queue timeout", elapsed)
+	}
+	if c.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after timeout, want 0", c.QueueDepth())
+	}
+	if c.Counters().AdmissionWaitNS <= 0 {
+		t.Fatal("admission wait time not recorded")
+	}
+}
+
+// TestAcquireCtxCanceled: a waiter whose context fires gets ctx.Err(), not
+// a ShedError, and frees its queue position.
+func TestAcquireCtxCanceled(t *testing.T) {
+	c := NewController(Config{Slots: 1, MaxQueue: 4})
+	if err := c.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer c.Release(1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- c.Acquire(ctx) }()
+	waitForDepth(t, c, 1)
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c.QueueDepth() != 0 {
+		t.Fatalf("queue depth %d after cancel, want 0", c.QueueDepth())
+	}
+}
+
+// TestQueueBoundUnderContention: at most MaxQueue requests wait; the rest
+// shed. Releasing slots then admits exactly the waiters.
+func TestQueueBoundUnderContention(t *testing.T) {
+	const slots, queue, extra = 2, 3, 8
+	c := NewController(Config{Slots: slots, MaxQueue: queue})
+	for i := 0; i < slots; i++ {
+		if err := c.Acquire(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	results := make(chan error, queue+extra)
+	for i := 0; i < queue+extra; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			err := c.Acquire(context.Background())
+			if err == nil {
+				defer c.Release(1)
+			}
+			results <- err
+		}()
+	}
+	// Wait until every goroutine has either queued or shed.
+	deadline := time.Now().Add(2 * time.Second)
+	for c.QueueDepth() < queue || c.Counters().ShedQueueFull < extra {
+		if time.Now().After(deadline) {
+			t.Fatalf("depth=%d sheds=%d never reached %d/%d",
+				c.QueueDepth(), c.Counters().ShedQueueFull, queue, extra)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	c.Release(slots)
+	wg.Wait()
+	close(results)
+	admitted, shed := 0, 0
+	for err := range results {
+		if err == nil {
+			admitted++
+		} else {
+			shed++
+		}
+	}
+	if admitted != queue || shed != extra {
+		t.Fatalf("admitted=%d shed=%d, want %d/%d", admitted, shed, queue, extra)
+	}
+}
+
+func TestTryExtra(t *testing.T) {
+	c := NewController(Config{Slots: 4})
+	if got := c.TryExtra(10); got != 4 {
+		t.Fatalf("TryExtra(10) = %d on an idle 4-slot controller, want 4", got)
+	}
+	if got := c.TryExtra(1); got != 0 {
+		t.Fatalf("TryExtra(1) = %d on a full controller, want 0", got)
+	}
+	c.Release(4)
+}
+
+func TestRetryAfterScalesWithQueue(t *testing.T) {
+	c := NewController(Config{Slots: 1, MaxQueue: 10})
+	if c.RetryAfter() != 0 {
+		t.Fatalf("RetryAfter with no observations = %v, want 0", c.RetryAfter())
+	}
+	c.Observe(100 * time.Millisecond)
+	empty := c.RetryAfter()
+	if empty < 100*time.Millisecond {
+		t.Fatalf("RetryAfter on empty queue = %v, want >= one EWMA", empty)
+	}
+	// Park some waiters and confirm the estimate grows.
+	if err := c.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	var wg sync.WaitGroup
+	for i := 0; i < 3; i++ {
+		wg.Add(1)
+		go func() { defer wg.Done(); _ = c.Acquire(ctx) }() //nolint:errcheck
+	}
+	waitForDepth(t, c, 3)
+	if got := c.RetryAfter(); got <= empty {
+		t.Fatalf("RetryAfter with 3 waiters = %v, want > %v", got, empty)
+	}
+	cancel()
+	wg.Wait()
+	c.Release(1)
+}
+
+// waitForDepth polls until the controller reports the given queue depth.
+func waitForDepth(t *testing.T, c *Controller, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for c.QueueDepth() != want {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue depth %d never reached %d", c.QueueDepth(), want)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+)
+
+// PanicError carries a panic that fired inside a singleflight execution,
+// together with the stack captured at the panic site. Group.Do returns it
+// to every waiter as a value; callers that want normal panic semantics
+// (e.g. to hand it to HTTP recovery middleware) re-panic with it.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return "singleflight: panic in flight function" }
+
+// call is one in-flight execution.
+type call[V any] struct {
+	done    chan struct{}
+	val     V
+	err     error
+	waiters int
+	cancel  context.CancelFunc
+}
+
+// Group collapses concurrent calls with equal keys onto one execution of
+// fn: the first caller starts the flight, later callers with the same key
+// wait for its result instead of running fn again. The zero value is ready
+// to use.
+//
+// Cancellation is waiter-safe: fn runs on its own goroutine under a
+// context detached from any single caller, so one caller disconnecting
+// never kills a run other callers are waiting on. The flight context is
+// canceled only when every caller (including the one that started it) has
+// gone away — then nobody wants the result and the work stops. Values that
+// the flight context must still carry (trace IDs, etc.) are preserved via
+// context.WithoutCancel of the starting caller's context.
+type Group[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*call[V]
+}
+
+// Do executes fn once per concurrently-requested key and hands the one
+// result to every caller. shared is true when this caller joined a flight
+// another caller started. If the caller's ctx fires while waiting, Do
+// returns ctx.Err() for that caller only; the flight keeps running for the
+// remaining waiters. A panic inside fn is captured and returned to every
+// waiter as a *PanicError.
+func (g *Group[K, V]) Do(ctx context.Context, key K, fn func(context.Context) (V, error)) (v V, err error, shared bool) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[K]*call[V])
+	}
+	if c, ok := g.calls[key]; ok {
+		c.waiters++
+		g.mu.Unlock()
+		v, err = g.wait(ctx, c)
+		return v, err, true
+	}
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	c := &call[V]{done: make(chan struct{}), waiters: 1, cancel: cancel}
+	g.calls[key] = c
+	g.mu.Unlock()
+
+	go func() {
+		defer func() {
+			if r := recover(); r != nil {
+				c.err = &PanicError{Value: r, Stack: debug.Stack()}
+			}
+			// Remove the key before signaling completion so late joiners
+			// start a fresh flight instead of racing the teardown.
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+			cancel()
+		}()
+		c.val, c.err = fn(runCtx)
+	}()
+
+	v, err = g.wait(ctx, c)
+	return v, err, false
+}
+
+// wait blocks until the flight completes or the caller's ctx fires. A
+// departing caller decrements the waiter count; the last one out cancels
+// the flight.
+func (g *Group[K, V]) wait(ctx context.Context, c *call[V]) (V, error) {
+	select {
+	case <-c.done:
+		return c.val, c.err
+	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiters--
+		abandon := c.waiters == 0
+		g.mu.Unlock()
+		if abandon {
+			c.cancel()
+		}
+		var zero V
+		return zero, ctx.Err()
+	}
+}

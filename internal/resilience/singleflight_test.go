@@ -1,0 +1,235 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSingleflightCollapses: N concurrent callers with one key run fn once
+// and all see its result; exactly one reports shared == false.
+func TestSingleflightCollapses(t *testing.T) {
+	var g Group[string, int]
+	var runs atomic.Int64
+	release := make(chan struct{})
+	started := make(chan struct{})
+
+	const n = 32
+	var wg sync.WaitGroup
+	var leaders atomic.Int64
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := g.Do(context.Background(), "k", func(ctx context.Context) (int, error) {
+				runs.Add(1)
+				close(started)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("Do = %d, %v", v, err)
+			}
+			if !shared {
+				leaders.Add(1)
+			}
+		}()
+	}
+	<-started
+	// Give every goroutine time to join the flight before releasing it.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != 1 {
+		t.Fatalf("fn ran %d times for %d callers, want 1", got, n)
+	}
+	if got := leaders.Load(); got != 1 {
+		t.Fatalf("%d callers report shared=false, want exactly 1", got)
+	}
+}
+
+// TestSingleflightWaiterSafeCancellation: the caller that started the
+// flight disconnects; the flight keeps running and the remaining waiter
+// still gets the value.
+func TestSingleflightWaiterSafeCancellation(t *testing.T) {
+	var g Group[string, string]
+	inFlight := make(chan struct{})
+	release := make(chan struct{})
+	fn := func(ctx context.Context) (string, error) {
+		close(inFlight)
+		select {
+		case <-release:
+			return "ok", nil
+		case <-ctx.Done():
+			return "", ctx.Err()
+		}
+	}
+
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	leaderDone := make(chan error, 1)
+	go func() {
+		_, err, _ := g.Do(leaderCtx, "k", fn)
+		leaderDone <- err
+	}()
+	<-inFlight
+
+	followerDone := make(chan struct {
+		v   string
+		err error
+	}, 1)
+	go func() {
+		v, err, shared := g.Do(context.Background(), "k", fn)
+		if !shared {
+			t.Error("follower did not join the existing flight")
+		}
+		followerDone <- struct {
+			v   string
+			err error
+		}{v, err}
+	}()
+	// Let the follower join, then kill the leader.
+	time.Sleep(20 * time.Millisecond)
+	cancelLeader()
+	if err := <-leaderDone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader err = %v, want context.Canceled", err)
+	}
+	close(release)
+	res := <-followerDone
+	if res.err != nil || res.v != "ok" {
+		t.Fatalf("follower got %q, %v — the shared run must survive the leader's disconnect", res.v, res.err)
+	}
+}
+
+// TestSingleflightAbandonedRunCanceled: when every caller disconnects, the
+// flight's context is canceled so the work stops.
+func TestSingleflightAbandonedRunCanceled(t *testing.T) {
+	var g Group[string, int]
+	inFlight := make(chan struct{})
+	flightStopped := make(chan error, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _, _ = g.Do(ctx, "k", func(runCtx context.Context) (int, error) {
+			close(inFlight)
+			<-runCtx.Done()
+			flightStopped <- runCtx.Err()
+			return 0, runCtx.Err()
+		})
+	}()
+	<-inFlight
+	cancel()
+	<-done
+	select {
+	case err := <-flightStopped:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("flight ctx err = %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("abandoned flight was never canceled")
+	}
+}
+
+// TestSingleflightSequentialRunsAreFresh: once a flight completes, the next
+// call with the same key runs fn again (no stale result caching).
+func TestSingleflightSequentialRunsAreFresh(t *testing.T) {
+	var g Group[string, int]
+	var runs atomic.Int64
+	for i := 1; i <= 3; i++ {
+		v, err, shared := g.Do(context.Background(), "k", func(ctx context.Context) (int, error) {
+			return int(runs.Add(1)), nil
+		})
+		if err != nil || shared || v != i {
+			t.Fatalf("run %d: v=%d err=%v shared=%v", i, v, err, shared)
+		}
+	}
+}
+
+// TestSingleflightErrorShared: a failing flight hands the same error to
+// every waiter.
+func TestSingleflightErrorShared(t *testing.T) {
+	var g Group[string, int]
+	wantErr := fmt.Errorf("engine exploded")
+	release := make(chan struct{})
+	const n = 8
+	errs := make(chan error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_, err, _ := g.Do(context.Background(), "k", func(ctx context.Context) (int, error) {
+				<-release
+				return 0, wantErr
+			})
+			errs <- err
+		}()
+	}
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("waiter err = %v, want %v", err, wantErr)
+		}
+	}
+}
+
+// TestSingleflightPanicCaptured: a panicking fn surfaces as *PanicError to
+// the waiters instead of crashing the process or stranding them.
+func TestSingleflightPanicCaptured(t *testing.T) {
+	var g Group[string, int]
+	_, err, _ := g.Do(context.Background(), "k", func(ctx context.Context) (int, error) {
+		panic("boom")
+	})
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Value != "boom" || len(pe.Stack) == 0 {
+		t.Fatalf("PanicError = %+v, want value boom with a stack", pe)
+	}
+	// The group is usable again after the panic.
+	v, err, _ := g.Do(context.Background(), "k", func(ctx context.Context) (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("post-panic Do = %d, %v", v, err)
+	}
+}
+
+// TestSingleflightDistinctKeysDoNotCollapse: different keys run
+// independently and concurrently.
+func TestSingleflightDistinctKeysDoNotCollapse(t *testing.T) {
+	var g Group[int, int]
+	var runs atomic.Int64
+	release := make(chan struct{})
+	var started sync.WaitGroup
+	var wg sync.WaitGroup
+	const n = 4
+	started.Add(n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err, shared := g.Do(context.Background(), i, func(ctx context.Context) (int, error) {
+				runs.Add(1)
+				started.Done()
+				<-release
+				return i, nil
+			})
+			if err != nil || shared {
+				t.Errorf("key %d: err=%v shared=%v", i, err, shared)
+			}
+		}(i)
+	}
+	started.Wait() // all n flights in progress at once
+	close(release)
+	wg.Wait()
+	if got := runs.Load(); got != n {
+		t.Fatalf("runs = %d, want %d", got, n)
+	}
+}

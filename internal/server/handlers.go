@@ -5,12 +5,15 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
 	"bufferkit"
 	"bufferkit/internal/orderbuf"
+	"bufferkit/internal/resilience"
 	"bufferkit/internal/server/cache"
 )
 
@@ -38,6 +41,10 @@ type solveResponse struct {
 	// Cached reports whether the result came from the LRU cache without an
 	// engine run.
 	Cached bool `json:"cached"`
+	// Coalesced reports that the result was shared from another request's
+	// in-flight engine run (singleflight) — like Cached, no engine ran for
+	// this request.
+	Coalesced bool `json:"coalesced,omitempty"`
 	// ElapsedMs is the engine runtime of the (original) solve. It is
 	// reported for /v1/solve runs only: batch workers overlap, so per-net
 	// wall time is not measurable there and the field is omitted.
@@ -61,7 +68,10 @@ type errorResponse struct {
 }
 
 // handleSolve solves one net: cache lookup on the raw payload digests,
-// then parse, run under the request deadline, store, reply.
+// then parse, and run under the request deadline — collapsing onto an
+// identical in-flight solve when one exists. The winner of a singleflight
+// populates the cache; followers are answered from the shared result with
+// no engine run of their own.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.solveReqs.Add(1)
 	var req solveRequest
@@ -81,33 +91,54 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, err)
 		return
 	}
-	solver, err := req.newSolver(lib, bufferkit.WithDriver(net.Driver))
+	timeout := s.timeout(req.solveOptions)
+	// The flight runs detached from any one caller (a disconnect must not
+	// kill the run other waiters share) under its own solve budget;
+	// admission happens inside, so N coalesced requests consume one engine
+	// slot, not N.
+	resp, err, shared := s.flights.Do(r.Context(), key, func(ctx context.Context) (*solveResponse, error) {
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		if err := s.adm.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		defer s.adm.Release(1)
+		solver, err := req.newSolver(lib, bufferkit.WithDriver(net.Driver))
+		if err != nil {
+			return nil, err
+		}
+		defer solver.Close()
+		s.inFlightRuns.Add(1)
+		s.engineRuns.Add(1)
+		start := time.Now()
+		res, err := solver.Run(ctx, net.Tree)
+		elapsed := time.Since(start)
+		s.inFlightRuns.Add(-1)
+		s.adm.Observe(elapsed)
+		s.solveLatency.observe(elapsed)
+		if err != nil {
+			return nil, err
+		}
+		resp := buildResponse(net, lib, solver.Algorithm(), res, elapsed)
+		s.cache.Put(key, resp)
+		s.cacheStores.Add(1)
+		return resp, nil
+	})
 	if err != nil {
-		s.writeError(w, err)
+		var pe *resilience.PanicError
+		if errors.As(err, &pe) {
+			panic(pe) // recovery middleware: 500 + panics_total + original stack
+		}
+		s.writeError(w, s.asCanceled(err))
 		return
 	}
-	defer solver.Close()
-
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.solveOptions))
-	defer cancel()
-	if !s.acquire(ctx.Done()) {
-		s.writeError(w, ctx.Err())
+	if shared {
+		s.sfShared.Add(1)
+		out := *resp // copy: the shared result is immutable
+		out.Coalesced = true
+		writeJSON(w, http.StatusOK, &out)
 		return
 	}
-	s.inFlightRuns.Add(1)
-	s.engineRuns.Add(1)
-	start := time.Now()
-	res, err := solver.Run(ctx, net.Tree)
-	elapsed := time.Since(start)
-	s.inFlightRuns.Add(-1)
-	s.release(1)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	resp := buildResponse(net, lib, solver.Algorithm(), res, elapsed)
-	s.cache.Put(key, resp)
-	s.cacheStores.Add(1)
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -134,8 +165,12 @@ type batchLine struct {
 
 // handleBatch solves a batch, streaming one NDJSON line per net. Cached
 // nets are answered without an engine run; the rest go through
-// Solver.Stream on as many workers as the semaphore can spare (at least
-// one, so batches never deadlock each other).
+// Solver.Stream on as many workers as the admission controller can spare
+// (at least one, so batches never deadlock each other). Admission happens
+// before the response header, so an overloaded server sheds the whole
+// batch with 429 + Retry-After while that is still expressible; once the
+// stream has started, an abort is reported as a terminal NDJSON error
+// record instead of a silent truncation.
 func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	s.batchReqs.Add(1)
 	var req batchRequest
@@ -199,6 +234,23 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.solveOptions))
 	defer cancel()
 
+	// Take one guaranteed engine slot (so the batch always progresses)
+	// plus whatever extra capacity is idle right now — before the header,
+	// while shedding is still a clean 429.
+	slots := 0
+	if len(trees) > 0 {
+		if err := s.adm.Acquire(ctx); err != nil {
+			s.writeError(w, s.asCanceled(err))
+			return
+		}
+		slots = 1 + s.adm.TryExtra(min(len(trees), s.cfg.MaxConcurrent)-1)
+		s.inFlightRuns.Add(int64(slots))
+		defer func() {
+			s.inFlightRuns.Add(int64(-slots))
+			s.adm.Release(slots)
+		}()
+	}
+
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
 	enc := json.NewEncoder(w)
@@ -239,18 +291,6 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if len(trees) > 0 {
-		// Take one guaranteed engine slot (so the batch always progresses)
-		// plus whatever extra capacity is idle right now.
-		if !s.acquire(ctx.Done()) {
-			emit(&batchLine{Index: -1, Error: errorMessage(ctx.Err())})
-			return
-		}
-		slots := 1 + s.acquireExtra(min(len(trees), s.cfg.MaxConcurrent)-1)
-		s.inFlightRuns.Add(int64(slots))
-		defer func() {
-			s.inFlightRuns.Add(int64(-slots))
-			s.release(slots)
-		}()
 		solver, err := req.newSolver(lib,
 			bufferkit.WithDrivers(drivers),
 			bufferkit.WithWorkers(slots),
@@ -283,8 +323,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	if delivered < len(jobs) {
-		// The stream ended early (deadline or cancellation); tell the
-		// client the batch is truncated.
+		// The stream ended early (deadline or cancellation); flush a
+		// terminal error record so the client can tell a truncated batch
+		// from a complete one.
 		err := ctx.Err()
 		if err == nil {
 			err = context.Canceled
@@ -298,9 +339,20 @@ func (s *Server) handleAlgorithms(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"algorithms": bufferkit.AlgorithmInfos()})
 }
 
-// handleHealthz is the liveness probe.
+// handleHealthz is the liveness probe: 200 as long as the process serves.
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// handleReadyz is the readiness probe: 503 while draining so load
+// balancers divert new traffic, 200 otherwise. bufferkitd flips drain mode
+// on SIGTERM before it stops accepting connections.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
 // handleMetrics renders the server's expvar map as JSON.
@@ -309,7 +361,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintln(w, s.metrics.String())
 }
 
-// decodeBody JSON-decodes a size-limited request body into dst.
+// decodeBody JSON-decodes a size-limited request body into dst. A body
+// exceeding Config.MaxBodyBytes maps to 413 Request Entity Too Large, not
+// a generic decode-error 400.
 func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any) error {
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(dst); err != nil {
@@ -389,7 +443,8 @@ func errorMessage(err error) string {
 
 // writeError maps err onto an HTTP status with a JSON error body:
 // *ValidationError and malformed payloads → 400, body too large → 413,
-// ErrInfeasible → 422, ErrCanceled (request deadline) → 504, anything
+// ErrInfeasible → 422, load shedding (*resilience.ShedError) → 429 with a
+// Retry-After header, ErrCanceled (request deadline) → 504, anything
 // else → 500.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.httpErrors.Add(1)
@@ -397,6 +452,7 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
 	var herr *httpError
 	var verr *bufferkit.ValidationError
+	var shed *resilience.ShedError
 	switch {
 	case errors.As(err, &herr):
 		status = herr.status
@@ -412,6 +468,9 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 			t := verr.Type
 			resp.Type = &t
 		}
+	case errors.As(err, &shed):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(shed.RetryAfter)))
 	case errors.Is(err, bufferkit.ErrInfeasible):
 		status = http.StatusUnprocessableEntity
 	case errors.Is(err, bufferkit.ErrCanceled),
@@ -420,6 +479,12 @@ func (s *Server) writeError(w http.ResponseWriter, err error) {
 		status = http.StatusGatewayTimeout
 	}
 	writeJSON(w, status, &resp)
+}
+
+// retryAfterSeconds renders a backoff hint as whole Retry-After seconds,
+// at least 1 so clients always wait before retrying.
+func retryAfterSeconds(d time.Duration) int {
+	return max(int(math.Ceil(d.Seconds())), 1)
 }
 
 // writeJSON writes v as the complete response body.

@@ -10,41 +10,69 @@
 //	POST /v1/yield      Monte Carlo / multi-corner yield analysis
 //	GET  /v1/algorithms registered algorithms with descriptions
 //	GET  /healthz       liveness probe
+//	GET  /readyz        readiness probe (503 while draining)
 //	GET  /metrics       expvar counters as JSON
 //
-// Concurrency model: a semaphore of Config.MaxConcurrent slots bounds the
-// number of engine runs in flight across all requests; the engines
-// themselves come from bufferkit's shared sync.Pool, so a loaded server
-// reaches steady state with zero per-request engine construction. Each
-// request's context (with its deadline) propagates into the per-vertex
-// cancellation polls of RunContext, so a hung client or an expired budget
-// stops the dynamic program mid-run.
+// Concurrency model: a deadline-aware admission controller
+// (internal/resilience) bounds the engine runs in flight across all
+// requests. A request that cannot get a slot immediately waits in a
+// bounded queue; arrivals beyond the queue bound, requests whose remaining
+// deadline cannot cover the observed solve-time EWMA, and waits exceeding
+// Config.QueueTimeout are shed with 429 + Retry-After instead of piling
+// up. The engines themselves come from bufferkit's shared sync.Pool, so a
+// loaded server reaches steady state with zero per-request engine
+// construction. Each request's context (with its deadline) propagates into
+// the per-vertex cancellation polls of RunContext, so a hung client or an
+// expired budget stops the dynamic program mid-run.
+//
+// Duplicate in-flight solves collapse: /v1/solve and /v1/yield requests
+// with equal cache keys share one engine run via singleflight, with
+// waiter-safe cancellation — a disconnecting caller never kills the run
+// other callers are waiting on. The winner populates the LRU cache, so
+// followers of later bursts hit the cache without any coordination.
 //
 // An LRU cache keyed by (net digest, library digest, algorithm, options)
 // serves repeated nets — the common case in synthesis loops — without
 // parsing or solving anything; see internal/server/cache.
+//
+// A recovery middleware converts handler and engine panics into 500s with
+// a logged stack and a panics_total counter, so one poisoned request
+// cannot take down the connection (or, under singleflight, its waiters)
+// silently. See DESIGN.md §13 for the resilience model.
 package server
 
 import (
 	"expvar"
 	"fmt"
+	"log"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"slices"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bufferkit"
+	"bufferkit/internal/resilience"
 	"bufferkit/internal/server/cache"
 )
 
 // Config parameterizes a Server. The zero value is production-usable:
-// GOMAXPROCS concurrent engine runs, a 4096-entry cache, a 30 s default
-// solve budget capped at 5 min, 16 MiB request bodies.
+// GOMAXPROCS concurrent engine runs, an 8×-concurrency admission queue, a
+// 4096-entry cache, a 30 s default solve budget capped at 5 min, 16 MiB
+// request bodies.
 type Config struct {
 	// MaxConcurrent bounds engine runs in flight across all requests
 	// (0 = GOMAXPROCS).
 	MaxConcurrent int
+	// MaxQueue bounds requests waiting for an engine slot; arrivals beyond
+	// it are shed with 429 (0 = 8×MaxConcurrent, negative = no queue:
+	// every request not admitted immediately is shed).
+	MaxQueue int
+	// QueueTimeout caps how long one request may wait for admission before
+	// being shed (0 = 10 s, negative = wait until the request deadline).
+	QueueTimeout time.Duration
 	// CacheEntries is the LRU result-cache capacity (0 = default 4096,
 	// negative = caching disabled).
 	CacheEntries int
@@ -67,6 +95,18 @@ func (c *Config) fill() {
 	if c.MaxConcurrent <= 0 {
 		c.MaxConcurrent = runtime.GOMAXPROCS(0)
 	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = 8 * c.MaxConcurrent
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = -1 // normalized "no queue" sentinel; Controller gets 0
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = 10 * time.Second
+	}
+	if c.QueueTimeout < 0 {
+		c.QueueTimeout = -1 // wait until the request deadline
+	}
 	if c.CacheEntries == 0 {
 		c.CacheEntries = 4096
 	}
@@ -87,12 +127,69 @@ func (c *Config) fill() {
 	}
 }
 
+// latencyBucketsMs are the fixed histogram bucket upper bounds (ms) for
+// solve_latency_ms.
+var latencyBucketsMs = []float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// latencyHist is a fixed-bucket latency histogram rendered as an expvar
+// map: per-bin counts keyed "le_<ms>" (plus "le_inf"), with "count" and
+// "sum_ms" totals. Bins are disjoint, not cumulative.
+type latencyHist struct {
+	bins  []*expvar.Int // len(latencyBucketsMs)+1; last = overflow
+	count *expvar.Int
+	sumMs *expvar.Float
+	m     *expvar.Map
+}
+
+func newLatencyHist() *latencyHist {
+	h := &latencyHist{
+		bins:  make([]*expvar.Int, len(latencyBucketsMs)+1),
+		count: new(expvar.Int),
+		sumMs: new(expvar.Float),
+		m:     new(expvar.Map).Init(),
+	}
+	for i := range h.bins {
+		h.bins[i] = new(expvar.Int)
+		if i < len(latencyBucketsMs) {
+			h.m.Set(fmt.Sprintf("le_%g", latencyBucketsMs[i]), h.bins[i])
+		} else {
+			h.m.Set("le_inf", h.bins[i])
+		}
+	}
+	h.m.Set("count", h.count)
+	h.m.Set("sum_ms", h.sumMs)
+	return h
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ms := float64(d) / float64(time.Millisecond)
+	i := 0
+	for ; i < len(latencyBucketsMs); i++ {
+		if ms <= latencyBucketsMs[i] {
+			break
+		}
+	}
+	h.bins[i].Add(1)
+	h.count.Add(1)
+	h.sumMs.Add(ms)
+}
+
 // Server holds the shared state behind the handlers. Create with New and
 // mount via Handler.
 type Server struct {
 	cfg   Config
-	sem   chan struct{}
+	adm   *resilience.Controller
 	cache *cache.Cache
+	start time.Time
+
+	// draining flips GET /readyz to 503 so load balancers stop routing new
+	// traffic while in-flight work completes.
+	draining atomic.Bool
+
+	// flights collapse duplicate in-flight solve/yield requests onto one
+	// engine run each, keyed by the same digests as the cache.
+	flights      resilience.Group[cache.Key, *solveResponse]
+	yieldFlights resilience.Group[cache.Key, *yieldResponse]
 
 	// Counters are kept on a private expvar.Map (not Publish-ed globally)
 	// so tests can run many Servers in one process; /metrics renders the
@@ -105,6 +202,9 @@ type Server struct {
 	cacheStores  *expvar.Int
 	httpErrors   *expvar.Int
 	inFlightRuns *expvar.Int
+	panicsTotal  *expvar.Int
+	sfShared     *expvar.Int
+	solveLatency *latencyHist
 
 	// Yield-sweep counters. The two abort counters are the endpoint's
 	// partial-progress story: a sweep killed by the request deadline still
@@ -118,10 +218,21 @@ type Server struct {
 // New builds a Server from cfg (zero value = defaults).
 func New(cfg Config) *Server {
 	cfg.fill()
+	admCfg := resilience.Config{
+		Slots:    cfg.MaxConcurrent,
+		MaxQueue: cfg.MaxQueue,
+	}
+	if admCfg.MaxQueue < 0 {
+		admCfg.MaxQueue = 0
+	}
+	if cfg.QueueTimeout > 0 {
+		admCfg.QueueTimeout = cfg.QueueTimeout
+	}
 	s := &Server{
 		cfg:          cfg,
-		sem:          make(chan struct{}, cfg.MaxConcurrent),
+		adm:          resilience.NewController(admCfg),
 		cache:        cache.New(cfg.CacheEntries),
+		start:        time.Now(),
 		metrics:      new(expvar.Map).Init(),
 		solveReqs:    new(expvar.Int),
 		batchReqs:    new(expvar.Int),
@@ -130,6 +241,9 @@ func New(cfg Config) *Server {
 		cacheStores:  new(expvar.Int),
 		httpErrors:   new(expvar.Int),
 		inFlightRuns: new(expvar.Int),
+		panicsTotal:  new(expvar.Int),
+		sfShared:     new(expvar.Int),
+		solveLatency: newLatencyHist(),
 
 		yieldReqs:           new(expvar.Int),
 		yieldSamples:        new(expvar.Int),
@@ -143,6 +257,9 @@ func New(cfg Config) *Server {
 	s.metrics.Set("cache_stores", s.cacheStores)
 	s.metrics.Set("http_errors", s.httpErrors)
 	s.metrics.Set("in_flight_runs", s.inFlightRuns)
+	s.metrics.Set("panics_total", s.panicsTotal)
+	s.metrics.Set("singleflight_shared", s.sfShared)
+	s.metrics.Set("solve_latency_ms", s.solveLatency.m)
 	s.metrics.Set("yield_requests", s.yieldReqs)
 	s.metrics.Set("yield_samples", s.yieldSamples)
 	s.metrics.Set("yield_deadline_aborts", s.yieldDeadlineAborts)
@@ -152,10 +269,29 @@ func New(cfg Config) *Server {
 	s.metrics.Set("cache_evictions", expvar.Func(func() any { return s.cache.Stats().Evictions }))
 	s.metrics.Set("cache_len", expvar.Func(func() any { return s.cache.Stats().Len }))
 	s.metrics.Set("max_concurrent", expvar.Func(func() any { return s.cfg.MaxConcurrent }))
+	s.metrics.Set("max_queue", expvar.Func(func() any { return max(s.cfg.MaxQueue, 0) }))
+	s.metrics.Set("queue_depth", expvar.Func(func() any { return s.adm.QueueDepth() }))
+	s.metrics.Set("admission_wait_ns", expvar.Func(func() any { return s.adm.Counters().AdmissionWaitNS }))
+	s.metrics.Set("shed_total", expvar.Func(func() any { return s.adm.Counters().Total() }))
+	s.metrics.Set("shed_queue_full", expvar.Func(func() any { return s.adm.Counters().ShedQueueFull }))
+	s.metrics.Set("shed_deadline", expvar.Func(func() any { return s.adm.Counters().ShedDeadline }))
+	s.metrics.Set("shed_queue_timeout", expvar.Func(func() any { return s.adm.Counters().ShedQueueTimeout }))
+	s.metrics.Set("solve_ewma_ms", expvar.Func(func() any {
+		return float64(s.adm.Estimate()) / float64(time.Millisecond)
+	}))
+	s.metrics.Set("draining", expvar.Func(func() any {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	}))
+	s.metrics.Set("uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
+	s.metrics.Set("go_version", expvar.Func(func() any { return runtime.Version() }))
 	return s
 }
 
-// Handler returns the HTTP handler serving every endpoint.
+// Handler returns the HTTP handler serving every endpoint, wrapped in the
+// panic-recovery middleware.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -163,8 +299,75 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/yield", s.handleYield)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return mux
+	return s.recoverPanics(mux)
+}
+
+// SetDraining flips drain mode: while draining, GET /readyz answers 503 so
+// load balancers divert new traffic, while already-accepted requests run
+// to completion. bufferkitd sets it on SIGTERM before closing the
+// listener.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether the server is in drain mode.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// trackingWriter records whether a response header was written, so the
+// recovery middleware knows if a 500 can still be delivered. It passes
+// Flush through for the NDJSON streaming handlers.
+type trackingWriter struct {
+	http.ResponseWriter
+	wroteHeader bool
+}
+
+func (w *trackingWriter) WriteHeader(code int) {
+	w.wroteHeader = true
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *trackingWriter) Write(b []byte) (int, error) {
+	w.wroteHeader = true
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *trackingWriter) Flush() {
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recoverPanics converts a handler or engine panic into a 500 with a
+// logged stack and a panics_total increment, so one poisoned request
+// cannot silently kill the connection. Panics that crossed a singleflight
+// boundary arrive as *resilience.PanicError re-panics and keep the stack
+// captured at the original panic site. http.ErrAbortHandler passes
+// through: it is net/http's own control flow for dead connections.
+func (s *Server) recoverPanics(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		tw := &trackingWriter{ResponseWriter: w}
+		defer func() {
+			rec := recover()
+			if rec == nil {
+				return
+			}
+			if rec == http.ErrAbortHandler {
+				panic(rec)
+			}
+			s.panicsTotal.Add(1)
+			val, stack := rec, debug.Stack()
+			if pe, ok := rec.(*resilience.PanicError); ok {
+				val, stack = pe.Value, pe.Stack
+			}
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, val, stack)
+			if !tw.wroteHeader {
+				s.httpErrors.Add(1)
+				writeJSON(tw, http.StatusInternalServerError,
+					&errorResponse{Error: fmt.Sprintf("internal error: %v", val)})
+			}
+		}()
+		next.ServeHTTP(tw, r)
+	})
 }
 
 // solveOptions are the request fields that select and configure an
@@ -252,40 +455,6 @@ func (s *Server) timeout(o solveOptions) time.Duration {
 		d = time.Duration(o.TimeoutMs) * time.Millisecond
 	}
 	return min(d, s.cfg.MaxTimeout)
-}
-
-// acquire takes one engine slot, respecting ctx; it reports whether the
-// slot was obtained (false = ctx fired first).
-func (s *Server) acquire(done <-chan struct{}) bool {
-	select {
-	case s.sem <- struct{}{}:
-		return true
-	case <-done:
-		return false
-	}
-}
-
-// acquireExtra grabs up to n additional slots without blocking, returning
-// how many it got. Batch requests use it to widen their worker pool when
-// the server is idle while always being able to proceed on the one slot
-// acquire gave them — so concurrent batches can never deadlock each other.
-func (s *Server) acquireExtra(n int) int {
-	got := 0
-	for ; got < n; got++ {
-		select {
-		case s.sem <- struct{}{}:
-		default:
-			return got
-		}
-	}
-	return got
-}
-
-// release returns n engine slots.
-func (s *Server) release(n int) {
-	for i := 0; i < n; i++ {
-		<-s.sem
-	}
 }
 
 // httpError is an error with a fixed HTTP status, optionally tied to a

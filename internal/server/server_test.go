@@ -68,26 +68,39 @@ func decodeInto(t testing.TB, rec *httptest.ResponseRecorder, dst any) {
 	}
 }
 
-// metric fetches one counter from GET /metrics.
-func metric(t testing.TB, h http.Handler, name string) int64 {
+// metricsMap fetches GET /metrics as raw JSON values. Values stay raw
+// because the map mixes numbers (counters), strings (go_version) and
+// objects (solve_latency_ms).
+func metricsMap(t testing.TB, h http.Handler) map[string]json.RawMessage {
 	t.Helper()
 	rec := get(t, h, "/metrics")
 	if rec.Code != http.StatusOK {
 		t.Fatalf("GET /metrics = %d", rec.Code)
 	}
-	var m map[string]json.Number
+	var m map[string]json.RawMessage
 	if err := json.Unmarshal(rec.Body.Bytes(), &m); err != nil {
 		t.Fatalf("metrics not JSON: %v\n%s", err, rec.Body.String())
 	}
+	return m
+}
+
+// metric fetches one numeric counter from GET /metrics.
+func metric(t testing.TB, h http.Handler, name string) int64 {
+	t.Helper()
+	m := metricsMap(t, h)
 	v, ok := m[name]
 	if !ok {
-		t.Fatalf("metric %q missing in %s", name, rec.Body.String())
+		t.Fatalf("metric %q missing in /metrics", name)
 	}
-	n, err := v.Int64()
+	var n json.Number
+	if err := json.Unmarshal(v, &n); err != nil {
+		t.Fatalf("metric %q = %s: %v", name, v, err)
+	}
+	f, err := n.Float64()
 	if err != nil {
-		t.Fatalf("metric %q = %q: %v", name, v, err)
+		t.Fatalf("metric %q = %q: %v", name, n, err)
 	}
-	return n
+	return int64(f)
 }
 
 // checkNoGoroutineLeak records the goroutine count and returns a function
@@ -552,8 +565,25 @@ func TestMetricsShape(t *testing.T) {
 	for _, name := range []string{
 		"solve_requests", "batch_requests", "engine_runs", "cache_hits",
 		"cache_misses", "cache_len", "http_errors", "in_flight_runs", "max_concurrent",
+		"panics_total", "singleflight_shared", "shed_total", "shed_queue_full",
+		"shed_deadline", "shed_queue_timeout", "queue_depth", "admission_wait_ns",
+		"max_queue", "solve_ewma_ms", "draining", "uptime_seconds",
 	} {
 		metric(t, h, name) // fails the test if absent or non-numeric
+	}
+	m := metricsMap(t, h)
+	var goVersion string
+	if err := json.Unmarshal(m["go_version"], &goVersion); err != nil || !strings.HasPrefix(goVersion, "go") {
+		t.Fatalf("go_version = %s (%v), want a go version string", m["go_version"], err)
+	}
+	var hist map[string]json.Number
+	if err := json.Unmarshal(m["solve_latency_ms"], &hist); err != nil {
+		t.Fatalf("solve_latency_ms = %s: %v", m["solve_latency_ms"], err)
+	}
+	for _, key := range []string{"count", "sum_ms", "le_1", "le_5000", "le_inf"} {
+		if _, ok := hist[key]; !ok {
+			t.Fatalf("solve_latency_ms missing %q: %v", key, hist)
+		}
 	}
 }
 
@@ -570,6 +600,16 @@ func TestBodyTooLarge(t *testing.T) {
 	rec := post(t, h, "/v1/solve", solveRequest{Net: strings.Repeat("x", 1024)})
 	if rec.Code != http.StatusRequestEntityTooLarge {
 		t.Fatalf("status %d, want 413", rec.Code)
+	}
+	var er errorResponse
+	decodeInto(t, rec, &er)
+	if !strings.Contains(er.Error, "128") {
+		t.Fatalf("413 body %q does not name the limit", er.Error)
+	}
+	// The batch endpoint shares the limiter.
+	rec = post(t, h, "/v1/batch", batchRequest{Library: strings.Repeat("x", 1024)})
+	if rec.Code != http.StatusRequestEntityTooLarge {
+		t.Fatalf("batch status %d, want 413", rec.Code)
 	}
 }
 

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"bufferkit"
+	"bufferkit/internal/resilience"
 	"bufferkit/internal/server/cache"
 )
 
@@ -108,9 +109,11 @@ func (req *yieldRequest) yieldCacheOptions() string {
 
 // handleYield runs Monte Carlo / multi-corner yield analysis on one net:
 // cache lookup on the payload digests plus sweep parameters, then parse,
-// sweep under the request deadline on as many engine slots as are idle,
-// store, reply. Deadline expiry mid-sweep maps to 504 with the completed
-// sample count recorded in the yield_aborted_samples counter.
+// sweep under the request deadline on as many engine slots as are idle —
+// collapsing onto an identical in-flight sweep when one exists
+// (singleflight, same contract as /v1/solve). Deadline expiry mid-sweep
+// maps to 504 with the completed sample count recorded in the
+// yield_aborted_samples counter.
 func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 	s.yieldReqs.Add(1)
 	var req yieldRequest
@@ -140,65 +143,81 @@ func (s *Server) handleYield(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(req.solveOptions))
-	defer cancel()
-	// One guaranteed engine slot plus whatever is idle, capped by the
-	// number of corners: a sweep is a batch of corner runs, so it widens
-	// like /v1/batch and can never deadlock other requests.
-	corners := 1 + req.Samples
-	if req.ProcessCorners {
-		corners += len(bufferkit.ProcessCorners()) - 1
-	}
-	if !s.acquire(ctx.Done()) {
-		s.writeError(w, s.asCanceled(ctx.Err()))
-		return
-	}
-	slots := 1 + s.acquireExtra(min(corners, s.cfg.MaxConcurrent)-1)
-	s.inFlightRuns.Add(int64(slots))
-	defer func() {
-		s.inFlightRuns.Add(int64(-slots))
-		s.release(slots)
-	}()
-
-	opts := []bufferkit.Option{
-		bufferkit.WithDriver(net.Driver),
-		bufferkit.WithSamples(req.Samples),
-		bufferkit.WithSigma(req.Sigma),
-		bufferkit.WithVariationSeed(req.seed()),
-		bufferkit.WithYieldTarget(req.Target),
-		bufferkit.WithRobustPlacement(req.Robust),
-		bufferkit.WithWorkers(slots),
-	}
-	if req.ProcessCorners {
-		opts = append(opts, bufferkit.WithCorners(bufferkit.ProcessCorners()[1:]))
-	}
-	solver, err := req.newSolver(lib, opts...)
-	if err != nil {
-		s.writeError(w, err)
-		return
-	}
-	defer solver.Close()
-
-	start := time.Now()
-	res, err := solver.SolveYield(ctx, net.Tree)
-	elapsed := time.Since(start)
-	if err != nil {
-		// A deadline abort mid-sweep still carries progress: expose the
-		// completed/total sample counts through /metrics before the 504.
-		var perr *bufferkit.PartialSweepError
-		if errors.As(err, &perr) {
-			s.yieldDeadlineAborts.Add(1)
-			s.yieldAbortedSamples.Add(int64(perr.Completed))
+	timeout := s.timeout(req.solveOptions)
+	resp, err, shared := s.yieldFlights.Do(r.Context(), key, func(ctx context.Context) (*yieldResponse, error) {
+		ctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		// One guaranteed engine slot plus whatever is idle, capped by the
+		// number of corners: a sweep is a batch of corner runs, so it widens
+		// like /v1/batch and can never deadlock other requests.
+		corners := 1 + req.Samples
+		if req.ProcessCorners {
+			corners += len(bufferkit.ProcessCorners()) - 1
 		}
-		s.writeError(w, err)
+		if err := s.adm.Acquire(ctx); err != nil {
+			return nil, err
+		}
+		slots := 1 + s.adm.TryExtra(min(corners, s.cfg.MaxConcurrent)-1)
+		s.inFlightRuns.Add(int64(slots))
+		defer func() {
+			s.inFlightRuns.Add(int64(-slots))
+			s.adm.Release(slots)
+		}()
+
+		opts := []bufferkit.Option{
+			bufferkit.WithDriver(net.Driver),
+			bufferkit.WithSamples(req.Samples),
+			bufferkit.WithSigma(req.Sigma),
+			bufferkit.WithVariationSeed(req.seed()),
+			bufferkit.WithYieldTarget(req.Target),
+			bufferkit.WithRobustPlacement(req.Robust),
+			bufferkit.WithWorkers(slots),
+		}
+		if req.ProcessCorners {
+			opts = append(opts, bufferkit.WithCorners(bufferkit.ProcessCorners()[1:]))
+		}
+		solver, err := req.newSolver(lib, opts...)
+		if err != nil {
+			return nil, err
+		}
+		defer solver.Close()
+
+		start := time.Now()
+		res, err := solver.SolveYield(ctx, net.Tree)
+		elapsed := time.Since(start)
+		if err != nil {
+			// A deadline abort mid-sweep still carries progress: expose the
+			// completed/total sample counts through /metrics before the 504.
+			var perr *bufferkit.PartialSweepError
+			if errors.As(err, &perr) {
+				s.yieldDeadlineAborts.Add(1)
+				s.yieldAbortedSamples.Add(int64(perr.Completed))
+			}
+			return nil, err
+		}
+		s.engineRuns.Add(int64(len(res.Samples)))
+		s.yieldSamples.Add(int64(len(res.Samples)))
+
+		resp := buildYieldResponse(net, lib, solver.Algorithm(), res, elapsed)
+		s.cache.Put(key, resp)
+		s.cacheStores.Add(1)
+		return resp, nil
+	})
+	if err != nil {
+		var pe *resilience.PanicError
+		if errors.As(err, &pe) {
+			panic(pe) // recovery middleware: 500 + panics_total + original stack
+		}
+		s.writeError(w, s.asCanceled(err))
 		return
 	}
-	s.engineRuns.Add(int64(len(res.Samples)))
-	s.yieldSamples.Add(int64(len(res.Samples)))
-
-	resp := buildYieldResponse(net, lib, solver.Algorithm(), res, elapsed)
-	s.cache.Put(key, resp)
-	s.cacheStores.Add(1)
+	if shared {
+		s.sfShared.Add(1)
+		out := *resp // copy: the shared result is immutable
+		out.Cached = false
+		writeJSON(w, http.StatusOK, &out)
+		return
+	}
 	writeJSON(w, http.StatusOK, resp)
 }
 
