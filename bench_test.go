@@ -361,6 +361,45 @@ func BenchmarkYieldSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkChipSolve measures multi-net price-and-resolve allocation over
+// a shared site grid: an uncontended instance (the parallel fan-out floor,
+// one solve per net) and a center-contended one driving the full pricing
+// loop. nets/s counts oracle re-solves across all rounds; the rounds
+// metric is the instance's deterministic rounds-to-feasible. The case
+// table is shared with repro -bench-json (BENCH_engine.json) through
+// experiments.ChipBenchCases.
+func BenchmarkChipSolve(b *testing.B) {
+	lib := library.Generate(16)
+	for _, cb := range experiments.ChipBenchCases(1) {
+		b.Run(cb.Name, func(b *testing.B) {
+			solver, err := bufferkit.NewSolver(bufferkit.WithLibrary(lib))
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer solver.Close()
+			ctx := context.Background()
+			inst := bufferkit.GenerateChip(cb.Opts)
+			warm, err := solver.SolveChip(ctx, inst) // warm the pool, record rounds
+			if err != nil {
+				b.Fatal(err)
+			}
+			solves := 0
+			for _, r := range warm.Rounds {
+				solves += r.Resolved
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SolveChip(ctx, inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(solves*b.N)/b.Elapsed().Seconds(), "nets/s")
+			b.ReportMetric(float64(len(warm.Rounds)), "rounds")
+		})
+	}
+}
+
 // BenchmarkEvaluate measures the exact Elmore oracle, the substrate all
 // verification rests on.
 func BenchmarkEvaluate(b *testing.B) {

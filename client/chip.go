@@ -1,0 +1,108 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// ChipStream iterates a /v1/chip NDJSON response: one ChipRound line per
+// pricing round, then a terminal summary. Not safe for concurrent use.
+// Close it when done (early Close aborts the server-side allocator via the
+// request context).
+type ChipStream struct {
+	resp   *http.Response
+	sc     *bufio.Scanner
+	cancel context.CancelFunc
+	err    error
+}
+
+// Chip starts a multi-net chip solve and returns the convergence stream.
+// Like Batch, retries apply only up to obtaining the response: a chip
+// solve is far too expensive to silently re-run, so a cut stream surfaces
+// from Next (ErrTruncated for the server's in-band abort record) and
+// resuming is the caller's decision.
+func (c *Client) Chip(ctx context.Context, req ChipRequest) (*ChipStream, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	resp, err := c.do(ctx, http.MethodPost, "/v1/chip", body)
+	if err != nil {
+		cancel()
+		return nil, err
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	return &ChipStream{resp: resp, sc: sc, cancel: cancel}, nil
+}
+
+// Next returns the next stream line — a round record or the terminal
+// summary — or io.EOF after the summary. A terminal error record (deadline
+// or server-side abort mid-run) returns an error wrapping ErrTruncated
+// that carries the server's partial-progress message.
+func (s *ChipStream) Next() (*ChipLine, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	for s.sc.Scan() {
+		if len(s.sc.Bytes()) == 0 {
+			continue
+		}
+		var line ChipLine
+		if err := json.Unmarshal(s.sc.Bytes(), &line); err != nil {
+			s.err = fmt.Errorf("bufferkitd: bad NDJSON line: %w", err)
+			return nil, s.err
+		}
+		if line.Error != "" {
+			s.err = fmt.Errorf("%w: %s (after %d rounds, %d net solves)",
+				ErrTruncated, line.Error, line.CompletedRounds, line.SolvedNets)
+			return nil, s.err
+		}
+		return &line, nil
+	}
+	if err := s.sc.Err(); err != nil {
+		s.err = err
+		return nil, err
+	}
+	s.err = io.EOF
+	return nil, io.EOF
+}
+
+// Collect drains the stream, returning every round record and the final
+// summary. On truncation it returns the rounds received so far alongside
+// the ErrTruncated-wrapping error (summary nil).
+func (s *ChipStream) Collect() ([]ChipRound, *ChipSummary, error) {
+	var rounds []ChipRound
+	var done *ChipSummary
+	for {
+		line, err := s.Next()
+		if err == io.EOF {
+			if done == nil {
+				return rounds, nil, fmt.Errorf("%w: stream ended without a summary", ErrTruncated)
+			}
+			return rounds, done, nil
+		}
+		if err != nil {
+			return rounds, nil, err
+		}
+		if line.Round != nil {
+			rounds = append(rounds, *line.Round)
+		}
+		if line.Done != nil {
+			done = line.Done
+		}
+	}
+}
+
+// Close releases the stream; abandoning it mid-solve cancels the
+// server-side allocator through the request context.
+func (s *ChipStream) Close() error {
+	s.cancel()
+	io.Copy(io.Discard, io.LimitReader(s.resp.Body, 1<<20))
+	return s.resp.Body.Close()
+}

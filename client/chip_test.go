@@ -1,0 +1,144 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"bufferkit"
+	"bufferkit/internal/server"
+)
+
+// chipPayload renders a generated contended instance and library as the
+// /v1/chip request fields.
+func chipPayload(t testing.TB, o bufferkit.ChipGenOpts) ChipRequest {
+	t.Helper()
+	var inst, lib bytes.Buffer
+	if err := bufferkit.WriteChipInstance(&inst, bufferkit.GenerateChip(o)); err != nil {
+		t.Fatal(err)
+	}
+	if err := bufferkit.WriteLibrary(&lib, bufferkit.GenerateLibrary(8)); err != nil {
+		t.Fatal(err)
+	}
+	return ChipRequest{Instance: inst.Bytes(), Library: lib.String()}
+}
+
+// TestChipCollect: the chip stream delivers every pricing round and a
+// feasible summary sized to the instance, in one request.
+func TestChipCollect(t *testing.T) {
+	c, ft, _ := newTestClient(t, server.Config{})
+	const nets = 30
+	st, err := c.Chip(context.Background(), chipPayload(t, bufferkit.ChipGenOpts{
+		W: 10, H: 10, Nets: nets, Capacity: 2, Contention: 0.7, Seed: 3}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rounds, done, err := st.Collect()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rounds) == 0 {
+		t.Fatal("stream delivered no round records")
+	}
+	if !done.Feasible || done.Nets != nets || len(done.Placements) != nets {
+		t.Fatalf("summary = %+v, want feasible with %d nets", done, nets)
+	}
+	if done.Rounds != len(rounds) {
+		t.Fatalf("summary reports %d rounds, stream delivered %d", done.Rounds, len(rounds))
+	}
+	if last := rounds[len(rounds)-1]; last.Overflow != 0 {
+		t.Fatalf("final round still has overflow %d", last.Overflow)
+	}
+	if ft.Requests() != 1 {
+		t.Fatalf("transport saw %d requests, want 1", ft.Requests())
+	}
+}
+
+// TestChipTruncationSurfacesNotRetries: the server's in-band abort record
+// surfaces from Next as ErrTruncated carrying the partial-progress
+// counters, and the stream is never silently re-run.
+func TestChipTruncationSurfacesNotRetries(t *testing.T) {
+	var hits int
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits++
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"round":{"round":1,"resolved":5,"overflow":3}}`)
+		fmt.Fprintln(w, `{"error":"chip: allocation aborted","completed_rounds":1,"solved_nets":2}`)
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Chip(context.Background(), ChipRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	line, err := st.Next()
+	if err != nil || line.Round == nil || line.Round.Round != 1 {
+		t.Fatalf("first line = %+v, %v; want round 1", line, err)
+	}
+	_, err = st.Next()
+	if !errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v, want ErrTruncated", err)
+	}
+	for _, want := range []string{"allocation aborted", "after 1 rounds", "2 net solves"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("truncation error %q missing %q", err, want)
+		}
+	}
+	// The error is sticky and the request was never retried.
+	if _, err2 := st.Next(); !errors.Is(err2, ErrTruncated) {
+		t.Fatalf("second Next = %v, want sticky ErrTruncated", err2)
+	}
+	if hits != 1 {
+		t.Fatalf("server saw %d requests, want 1 (no silent re-run)", hits)
+	}
+}
+
+// TestChipCollectWithoutSummary: a stream cut before the terminal record
+// reports truncation instead of returning a nil summary silently.
+func TestChipCollectWithoutSummary(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		fmt.Fprintln(w, `{"round":{"round":1,"resolved":5,"overflow":3}}`)
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.Chip(context.Background(), ChipRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	rounds, done, err := st.Collect()
+	if !errors.Is(err, ErrTruncated) || done != nil {
+		t.Fatalf("Collect = (%d rounds, %v, %v), want ErrTruncated with nil summary",
+			len(rounds), done, err)
+	}
+	if len(rounds) != 1 {
+		t.Fatalf("Collect kept %d rounds, want the 1 delivered", len(rounds))
+	}
+}
+
+// TestChipValidationErrorIsTerminal: a 400 from /v1/chip is never retried.
+func TestChipValidationErrorIsTerminal(t *testing.T) {
+	c, ft, sleeps := newTestClient(t, server.Config{})
+	_, err := c.Chip(context.Background(), ChipRequest{Library: "garbage"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want a 400 APIError", err)
+	}
+	if ft.Requests() != 1 || len(*sleeps) != 0 {
+		t.Fatalf("400 was retried: %d requests, %d sleeps", ft.Requests(), len(*sleeps))
+	}
+}

@@ -83,6 +83,80 @@ type BatchLine struct {
 	Error  string       `json:"error,omitempty"`
 }
 
+// ChipRequest is the POST /v1/chip payload.
+type ChipRequest struct {
+	// Instance is the multi-net chip instance JSON (the format netgen
+	// -chip emits: a site grid with blockages plus nets carrying .net text
+	// and vertex→site maps).
+	Instance json.RawMessage `json:"instance"`
+	// Library is the .buf text shared by every net of the instance.
+	Library string `json:"library"`
+	// Rounds caps pricing rounds (0 = server default).
+	Rounds int `json:"rounds,omitempty"`
+	// Step is the initial price step in ps per unit of site overflow
+	// (0 = server default).
+	Step float64 `json:"step,omitempty"`
+	// StepDecay is the per-round multiplicative step decay in (0, 1]
+	// (0 = server default).
+	StepDecay float64 `json:"step_decay,omitempty"`
+	// HistoryStep is the permanent price increment per unit of overflow
+	// per round (0 = server default, negative disables).
+	HistoryStep float64 `json:"history_step,omitempty"`
+	// Capacity overrides the instance's default per-site capacity.
+	Capacity int `json:"capacity,omitempty"`
+	SolveOptions
+}
+
+// ChipRound is one price-and-resolve round's convergence record, streamed
+// as an NDJSON line the moment the round completes.
+type ChipRound struct {
+	// Round numbers rounds from 1; Repair marks the final sequential
+	// repair pass.
+	Round  int  `json:"round"`
+	Repair bool `json:"repair,omitempty"`
+	// Resolved counts the nets re-solved this round.
+	Resolved int `json:"resolved"`
+	// Overflow is the total buffer count over capacity (0 = feasible);
+	// OverflowSites counts sites over capacity, MaxOverflow the worst one.
+	Overflow      int `json:"overflow"`
+	OverflowSites int `json:"overflow_sites"`
+	MaxOverflow   int `json:"max_overflow"`
+	// Buffers is the total number of buffers placed across all nets.
+	Buffers int `json:"buffers"`
+	// MaxPrice is the largest site price after this round's update.
+	MaxPrice float64 `json:"max_price"`
+	// TotalSlack and WorstSlack summarize the true (unpriced) slacks.
+	TotalSlack float64 `json:"total_slack"`
+	WorstSlack float64 `json:"worst_slack"`
+}
+
+// ChipSummary is the terminal record of a successful chip stream.
+type ChipSummary struct {
+	Algorithm  string              `json:"algorithm"`
+	Feasible   bool                `json:"feasible"`
+	Nets       int                 `json:"nets"`
+	Rounds     int                 `json:"rounds"`
+	Buffers    int                 `json:"buffers"`
+	TotalSlack float64             `json:"total_slack"`
+	WorstSlack float64             `json:"worst_slack"`
+	WorstNet   int                 `json:"worst_net"`
+	Slacks     []float64           `json:"slacks"`
+	Placements []map[string]string `json:"placements"`
+	ElapsedMs  float64             `json:"elapsed_ms"`
+}
+
+// ChipLine is one NDJSON line of the chip stream: a round record while
+// the allocator converges, then exactly one terminal record — Done on
+// success, or Error (with the partial-progress counters) on a mid-run
+// abort. ChipStream.Next surfaces the Error record as ErrTruncated.
+type ChipLine struct {
+	Round           *ChipRound   `json:"round,omitempty"`
+	Done            *ChipSummary `json:"done,omitempty"`
+	Error           string       `json:"error,omitempty"`
+	CompletedRounds int          `json:"completed_rounds,omitempty"`
+	SolvedNets      int          `json:"solved_nets,omitempty"`
+}
+
 // YieldRequest is the POST /v1/yield payload.
 type YieldRequest struct {
 	Net            string  `json:"net"`

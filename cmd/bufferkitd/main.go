@@ -17,6 +17,7 @@
 //	POST /v1/solve      one net, JSON in / JSON out
 //	POST /v1/batch      many nets, JSON in / NDJSON stream out
 //	POST /v1/yield      Monte Carlo / multi-corner yield analysis
+//	POST /v1/chip       multi-net chip solve, JSON in / NDJSON rounds out
 //	GET  /v1/algorithms algorithm registry with descriptions
 //	GET  /healthz       liveness probe
 //	GET  /readyz        readiness probe (503 while draining)
@@ -68,6 +69,7 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 		maxBody      = fs.Int64("max-body", 16<<20, "max request body bytes")
 		maxBatch     = fs.Int("max-batch", 10000, "max nets per /v1/batch request")
 		maxYield     = fs.Int("max-yield-samples", 1024, "max Monte Carlo samples per /v1/yield request")
+		maxChip      = fs.Int("max-chip-nets", 10000, "max nets per /v1/chip instance")
 		maxQueue     = fs.Int("max-queue", 0, "admission queue length (0 = 8x concurrency, negative = no queue)")
 		queueTimeout = fs.Duration("queue-timeout", 0, "max admission-queue wait (0 = 10s, negative = wait for the request deadline)")
 		grace        = fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight solves")
@@ -106,6 +108,7 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 			MaxBodyBytes:    *maxBody,
 			MaxBatchNets:    *maxBatch,
 			MaxYieldSamples: *maxYield,
+			MaxChipNets:     *maxChip,
 			MaxQueue:        *maxQueue,
 			QueueTimeout:    *queueTimeout,
 		},

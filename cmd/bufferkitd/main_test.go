@@ -26,6 +26,9 @@ func TestParseFlagsDefaults(t *testing.T) {
 	if opts.cfg.CacheEntries != 4096 || opts.cfg.MaxBodyBytes != 16<<20 {
 		t.Errorf("cfg = %+v", opts.cfg)
 	}
+	if opts.cfg.MaxChipNets != 10000 {
+		t.Errorf("MaxChipNets = %d", opts.cfg.MaxChipNets)
+	}
 	if opts.cfg.MaxQueue != 0 || opts.cfg.QueueTimeout != 0 {
 		t.Errorf("queue defaults = %d, %s (want zero values, the server picks the real defaults)",
 			opts.cfg.MaxQueue, opts.cfg.QueueTimeout)

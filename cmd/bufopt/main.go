@@ -56,6 +56,13 @@ func main() {
 		backend   = flag.String("backend", "", "candidate-list backend for -algo new/lillis: list, soa, or empty for the default")
 		placement = flag.Bool("placement", false, "print the buffer placement")
 		verify    = flag.Bool("verify", true, "re-check the result against the exact Elmore oracle")
+		reduce    = flag.Int("reduce", 0, "library reduction: -1 dominance-only (bit-exact), k>0 cluster to k types, 0 off")
+
+		chipPath = flag.String("chip", "", "chip instance JSON (chip mode: multi-net price-and-resolve)")
+		rounds   = flag.Int("rounds", 0, "-chip: pricing-round budget (0 = default)")
+		chipStep = flag.Float64("chip-step", 0, "-chip: initial subgradient step, ps per unit overflow (0 = default)")
+		chipDec  = flag.Float64("chip-decay", 0, "-chip: per-round step decay in (0,1] (0 = default)")
+		chipCap  = flag.Int("chip-capacity", 0, "-chip: override per-site capacity (0 = instance's)")
 
 		yield       = flag.Bool("yield", false, "Monte Carlo yield analysis instead of a single nominal solve")
 		samples     = flag.Int("samples", 64, "-yield: number of Monte Carlo corners")
@@ -76,19 +83,26 @@ func main() {
 	switch {
 	case *batchDir != "" && *netPath != "":
 		err = fmt.Errorf("-net and -batch are mutually exclusive")
+	case *chipPath != "" && (*batchDir != "" || *netPath != "" || *yield):
+		err = fmt.Errorf("-chip is mutually exclusive with -net, -batch and -yield")
 	case *batchDir != "" && *placement:
 		err = fmt.Errorf("-placement is not supported with -batch")
 	case *batchDir != "" && *yield:
 		err = fmt.Errorf("-yield is not supported with -batch")
+	case *chipPath != "":
+		err = runChip(ctx, os.Stdout, *chipPath, *libPath, *genLib, *algo, *prune, *backend, *reduce, chipOpts{
+			rounds: *rounds, step: *chipStep, decay: *chipDec, capacity: *chipCap,
+			workers: *jobs, verify: *verify,
+		})
 	case *batchDir != "":
-		err = runBatch(ctx, os.Stdout, *batchDir, *libPath, *genLib, *algo, *prune, *backend, *jobs, *verify)
+		err = runBatch(ctx, os.Stdout, *batchDir, *libPath, *genLib, *algo, *prune, *backend, *reduce, *jobs, *verify)
 	case *yield:
-		err = runYield(ctx, os.Stdout, *netPath, *libPath, *genLib, *algo, *prune, *backend, yieldOpts{
+		err = runYield(ctx, os.Stdout, *netPath, *libPath, *genLib, *algo, *prune, *backend, *reduce, yieldOpts{
 			samples: *samples, sigma: *sigma, seed: *seed, target: *yieldTarget,
 			robust: *robust, corners: *corners, placement: *placement, workers: *jobs,
 		})
 	default:
-		err = run(ctx, os.Stdout, *netPath, *libPath, *genLib, *algo, *prune, *backend, *placement, *verify)
+		err = run(ctx, os.Stdout, *netPath, *libPath, *genLib, *algo, *prune, *backend, *reduce, *placement, *verify)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "bufopt:", err)
@@ -139,7 +153,7 @@ func parseAlgo(algo string) (string, error) {
 }
 
 // newSolver assembles the Solver all bufopt modes share.
-func newSolver(lib bufferkit.Library, algo, prune, backend string, extra ...bufferkit.Option) (*bufferkit.Solver, error) {
+func newSolver(lib bufferkit.Library, algo, prune, backend string, reduce int, extra ...bufferkit.Option) (*bufferkit.Solver, error) {
 	name, err := parseAlgo(algo)
 	if err != nil {
 		return nil, err
@@ -148,16 +162,19 @@ func newSolver(lib bufferkit.Library, algo, prune, backend string, extra ...buff
 	if err != nil {
 		return nil, err
 	}
-	opts := append([]bufferkit.Option{
+	opts := []bufferkit.Option{
 		bufferkit.WithLibrary(lib),
 		bufferkit.WithAlgorithm(name),
 		bufferkit.WithPruneMode(mode),
 		bufferkit.WithBackend(backend),
-	}, extra...)
-	return bufferkit.NewSolver(opts...)
+	}
+	if reduce != 0 {
+		opts = append(opts, bufferkit.WithLibraryReduction(reduce))
+	}
+	return bufferkit.NewSolver(append(opts, extra...)...)
 }
 
-func run(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, algo, prune, backend string, placement, verify bool) error {
+func run(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, algo, prune, backend string, reduce int, placement, verify bool) error {
 	if netPath == "" {
 		return fmt.Errorf("-net is required")
 	}
@@ -175,7 +192,7 @@ func run(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, 
 	if err != nil {
 		return err
 	}
-	solver, err := newSolver(lib, algo, prune, backend, bufferkit.WithDriver(net.Driver))
+	solver, err := newSolver(lib, algo, prune, backend, reduce, bufferkit.WithDriver(net.Driver))
 	if err != nil {
 		return err
 	}
@@ -252,7 +269,7 @@ type yieldOpts struct {
 // runYield runs Monte Carlo yield analysis on one net, reporting the slack
 // distribution across corners, the yield at the target, and the chosen
 // placement.
-func runYield(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, algo, prune, backend string, o yieldOpts) error {
+func runYield(ctx context.Context, w io.Writer, netPath, libPath string, genLib int, algo, prune, backend string, reduce int, o yieldOpts) error {
 	if netPath == "" {
 		return fmt.Errorf("-net is required")
 	}
@@ -281,7 +298,7 @@ func runYield(ctx context.Context, w io.Writer, netPath, libPath string, genLib 
 	if o.corners {
 		extra = append(extra, bufferkit.WithCorners(bufferkit.ProcessCorners()[1:]))
 	}
-	solver, err := newSolver(lib, algo, prune, backend, extra...)
+	solver, err := newSolver(lib, algo, prune, backend, reduce, extra...)
 	if err != nil {
 		return err
 	}
@@ -346,7 +363,7 @@ func (o yieldOpts) cornerCount() int {
 // first, so batch output is deterministic across runs. Cancellation
 // (Ctrl-C) stops cleanly: completed nets stay reported and the totals line
 // says how far the batch got.
-func runBatch(ctx context.Context, w io.Writer, dir, libPath string, genLib int, algo, prune, backend string, jobs int, verify bool) error {
+func runBatch(ctx context.Context, w io.Writer, dir, libPath string, genLib int, algo, prune, backend string, reduce, jobs int, verify bool) error {
 	lib, err := loadLibrary(libPath, genLib)
 	if err != nil {
 		return err
@@ -377,7 +394,7 @@ func runBatch(ctx context.Context, w io.Writer, dir, libPath string, genLib int,
 		drivers[i] = nets[i].Driver
 	}
 
-	solver, err := newSolver(lib, algo, prune, backend,
+	solver, err := newSolver(lib, algo, prune, backend, reduce,
 		bufferkit.WithDrivers(drivers),
 		bufferkit.WithWorkers(jobs),
 	)

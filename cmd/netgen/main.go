@@ -36,13 +36,44 @@ func main() {
 		driverK   = flag.Float64("driver-k", 15, "driver intrinsic delay in ps")
 		emitLib   = flag.Int("emit-lib", 0, "emit a generated library of this size instead of a net")
 		inverters = flag.Bool("inverters", false, "make every second generated library type an inverter")
+
+		chip       = flag.Bool("chip", false, "emit a multi-net chip instance (JSON) instead of a single net")
+		chipW      = flag.Int("chip-w", 16, "-chip: site grid width")
+		chipH      = flag.Int("chip-h", 16, "-chip: site grid height")
+		chipNets   = flag.Int("chip-nets", 64, "-chip: number of nets")
+		capacity   = flag.Int("capacity", 2, "-chip: per-site buffer capacity")
+		contention = flag.Float64("contention", 0.5, "-chip: fraction of nets detoured through the grid center")
 	)
 	flag.Parse()
-	if err := run(*kind, *out, *name, *seed, *sinks, *positions, *length, *sinkCap, *rat,
-		*fanout, *depth, *rootEdge, *negProb, *driverR, *driverK, *emitLib, *inverters); err != nil {
+	var err error
+	if *chip {
+		err = runChip(*out, *chipW, *chipH, *chipNets, *capacity, *contention, *seed)
+	} else {
+		err = run(*kind, *out, *name, *seed, *sinks, *positions, *length, *sinkCap, *rat,
+			*fanout, *depth, *rootEdge, *negProb, *driverR, *driverK, *emitLib, *inverters)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "netgen:", err)
 		os.Exit(1)
 	}
+}
+
+// runChip emits a seeded multi-net chip instance over a shared site grid in
+// the JSON instance format bufopt -chip and POST /v1/chip consume.
+func runChip(out string, w, h, nets, capacity int, contention float64, seed int64) error {
+	dst := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		dst = f
+	}
+	inst := bufferkit.GenerateChip(bufferkit.ChipGenOpts{
+		W: w, H: h, Nets: nets, Capacity: capacity, Contention: contention, Seed: seed,
+	})
+	return bufferkit.WriteChipInstance(dst, inst)
 }
 
 func run(kind, out, name string, seed int64, sinks, positions int, length, sinkCap, rat float64,

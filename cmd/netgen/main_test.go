@@ -78,3 +78,60 @@ func TestEmittedNetIsOptimizable(t *testing.T) {
 		t.Fatalf("oracle %g != reported %g", chk.Slack, res.Slack)
 	}
 }
+
+// TestChipGolden pins -chip output to a checked-in golden file: instances
+// are deterministic per seed, and the emitted JSON must parse back into a
+// valid instance with the requested shape and real site contention.
+func TestChipGolden(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "chip.json")
+	if err := runChip(out, 6, 6, 4, 2, 0.5, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("testdata/chip_golden.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(want) {
+		t.Fatalf("-chip output differs from testdata/chip_golden.json:\n%s", got)
+	}
+
+	inst, err := bufferkit.ParseChipInstance(strings.NewReader(string(got)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inst.Grid.W != 6 || inst.Grid.H != 6 || len(inst.Nets) != 4 {
+		t.Fatalf("parsed instance is %dx%d with %d nets", inst.Grid.W, inst.Grid.H, len(inst.Nets))
+	}
+}
+
+// TestChipContentionShapesDemand: contention 1 routes every net through the
+// central window, so some central site must be requested by several nets;
+// contention 0 spreads them out.
+func TestChipContentionShapesDemand(t *testing.T) {
+	demand := func(contention float64) int {
+		inst := bufferkit.GenerateChip(bufferkit.ChipGenOpts{
+			W: 12, H: 12, Nets: 48, Capacity: 1, Contention: contention, Seed: 11,
+		})
+		use := map[int]int{}
+		peak := 0
+		for i := range inst.Nets {
+			for _, s := range inst.Nets[i].Site {
+				if s >= 0 {
+					use[s]++
+					if use[s] > peak {
+						peak = use[s]
+					}
+				}
+			}
+		}
+		return peak
+	}
+	hot, cold := demand(1), demand(0)
+	if hot <= cold {
+		t.Fatalf("peak site demand %d under full contention not above %d under none", hot, cold)
+	}
+}

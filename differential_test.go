@@ -230,6 +230,100 @@ func TestVariationSigmaZeroMatchesNominal(t *testing.T) {
 	}
 }
 
+// dominatedAugment prepends to lib one strictly-dominated copy of every
+// type — same polarity class, R and K no better, Cin strictly larger — so
+// dominance pruning has something real to remove, and the surviving
+// originals land at shifted indices, exercising the placement remap.
+func dominatedAugment(lib Library) Library {
+	out := make(Library, 0, 2*len(lib))
+	for _, b := range lib {
+		d := b
+		d.Name = b.Name + "_dom"
+		d.R *= 1.25
+		d.K += 1
+		d.Cin *= 1.01
+		out = append(out, d)
+	}
+	return append(out, lib...)
+}
+
+// TestLibraryReductionDominanceExact is WithLibraryReduction's exactness
+// property on the differential corpus: with a library carrying one
+// strictly-dominated copy of every type, dominance-only reduction (k < 0)
+// must reproduce the full-library solve bit for bit — identical slack,
+// identical placement in the original index space — on both candidate-list
+// backends, across plain libraries, inverter libraries and mixed sink
+// polarities. Infeasibility must agree too.
+func TestLibraryReductionDominanceExact(t *testing.T) {
+	configs := []corpusConfig{
+		{name: "plain-1type", lib: GenerateLibrary(1), seeds: 60},
+		{name: "plain-3types", lib: GenerateLibrary(3), seeds: 80},
+		{name: "inverters", lib: GenerateLibraryWithInverters(2), seeds: 80},
+		{name: "inverters-mixed-polarity", lib: GenerateLibraryWithInverters(3), negProb: 0.5, seeds: 80},
+	}
+	total := 0
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			aug := dominatedAugment(cfg.lib)
+			for seed := int64(0); seed < int64(cfg.seeds); seed++ {
+				tr := netgen.RandomSmall(seed, 6, cfg.negProb)
+				rng := rand.New(rand.NewSource(seed))
+				drv := Driver{R: 0.3 * rng.Float64(), K: 20 * rng.Float64()}
+				total++
+				for _, backend := range []string{"list", "soa"} {
+					full, err := NewSolver(WithLibrary(aug), WithDriver(drv), WithBackend(backend))
+					if err != nil {
+						t.Fatal(err)
+					}
+					fres, ferr := full.Run(context.Background(), tr)
+					full.Close()
+
+					red, err := NewSolver(WithLibrary(aug), WithDriver(drv), WithBackend(backend),
+						WithLibraryReduction(-1))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if red.libMap == nil {
+						t.Fatal("dominated-augmented library triggered no pruning")
+					}
+					if len(red.cfg.Library) > len(cfg.lib) {
+						t.Fatalf("reduction kept %d of %d types, want ≤ %d",
+							len(red.cfg.Library), len(aug), len(cfg.lib))
+					}
+					rres, rerr := red.Run(context.Background(), tr)
+					red.Close()
+
+					if ferr != nil {
+						if !errors.Is(ferr, ErrInfeasible) {
+							t.Fatalf("seed %d %s: full: %v", seed, backend, ferr)
+						}
+						if !errors.Is(rerr, ErrInfeasible) {
+							t.Fatalf("seed %d %s: full infeasible but reduced returned %v", seed, backend, rerr)
+						}
+						continue
+					}
+					if rerr != nil {
+						t.Fatalf("seed %d %s: reduced: %v (full slack %.6f)", seed, backend, rerr, fres.Slack)
+					}
+					if rres.Slack != fres.Slack {
+						t.Fatalf("seed %d %s: reduced slack %.17g != full slack %.17g",
+							seed, backend, rres.Slack, fres.Slack)
+					}
+					for v := range fres.Placement {
+						if rres.Placement[v] != fres.Placement[v] {
+							t.Fatalf("seed %d %s: placements differ at vertex %d: %d vs %d",
+								seed, backend, v, rres.Placement[v], fres.Placement[v])
+						}
+					}
+				}
+			}
+		})
+	}
+	if total < 300 {
+		t.Fatalf("reduction corpus has %d nets, want ≥ 300", total)
+	}
+}
+
 // checkCorpusDiversity asserts the differential corpus exercises what it
 // claims to.
 func checkCorpusDiversity(t *testing.T, total, negSinks, infeasible int) {

@@ -1,0 +1,96 @@
+package chip
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+
+	"bufferkit/internal/netlist"
+)
+
+// The on-disk / on-wire chip instance format is JSON with each net's
+// topology embedded as the repository's .net text (see internal/netlist):
+//
+//	{
+//	  "grid": {"w": 16, "h": 16, "capacity": 2},
+//	  "blockages": [{"x0": 3, "y0": 3, "x1": 4, "y1": 5}],
+//	  "nets": [
+//	    {"net": "net net0000\ndriver res 0.2 k 4\n...", "sites": [-1, 37, 38, -1]}
+//	  ]
+//	}
+//
+// cmd/netgen -chip emits it, bufopt -chip and POST /v1/chip consume it.
+
+type jsonInstance struct {
+	Grid      jsonGrid       `json:"grid"`
+	Blockages []jsonBlockage `json:"blockages,omitempty"`
+	Nets      []jsonNet      `json:"nets"`
+}
+
+type jsonGrid struct {
+	W        int `json:"w"`
+	H        int `json:"h"`
+	Capacity int `json:"capacity"`
+}
+
+type jsonBlockage struct {
+	X0 int `json:"x0"`
+	Y0 int `json:"y0"`
+	X1 int `json:"x1"`
+	Y1 int `json:"y1"`
+}
+
+type jsonNet struct {
+	Net   string `json:"net"`
+	Sites []int  `json:"sites"`
+}
+
+// WriteInstance writes inst in the JSON instance format (indented, so
+// generated instances diff cleanly under version control).
+func WriteInstance(w io.Writer, inst *Instance) error {
+	out := jsonInstance{
+		Grid: jsonGrid{W: inst.Grid.W, H: inst.Grid.H, Capacity: inst.Grid.Capacity},
+		Nets: make([]jsonNet, len(inst.Nets)),
+	}
+	for _, b := range inst.Blockages {
+		out.Blockages = append(out.Blockages, jsonBlockage{b.X0, b.Y0, b.X1, b.Y1})
+	}
+	for i := range inst.Nets {
+		n := &inst.Nets[i]
+		var buf bytes.Buffer
+		if err := netlist.WriteNet(&buf, &netlist.Net{Name: n.Name, Tree: n.Tree, Driver: n.Driver}); err != nil {
+			return fmt.Errorf("chip: net %d (%q): %w", i, n.Name, err)
+		}
+		out.Nets[i] = jsonNet{Net: buf.String(), Sites: n.Site}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(&out)
+}
+
+// ParseInstance reads the JSON instance format. The parsed instance is
+// validated; errors carry the offending net.
+func ParseInstance(r io.Reader) (*Instance, error) {
+	var in jsonInstance
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&in); err != nil {
+		return nil, fmt.Errorf("chip: bad instance JSON: %w", err)
+	}
+	inst := &Instance{Grid: Grid{W: in.Grid.W, H: in.Grid.H, Capacity: in.Grid.Capacity}}
+	for _, b := range in.Blockages {
+		inst.Blockages = append(inst.Blockages, Blockage{b.X0, b.Y0, b.X1, b.Y1})
+	}
+	for i, jn := range in.Nets {
+		net, err := netlist.ParseNet(strings.NewReader(jn.Net))
+		if err != nil {
+			return nil, fmt.Errorf("chip: net %d: %w", i, err)
+		}
+		inst.Nets = append(inst.Nets, Net{Name: net.Name, Tree: net.Tree, Driver: net.Driver, Site: jn.Sites})
+	}
+	if err := inst.Validate(); err != nil {
+		return nil, err
+	}
+	return inst, nil
+}

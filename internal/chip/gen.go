@@ -1,0 +1,165 @@
+package chip
+
+import (
+	"fmt"
+	"math/rand"
+
+	"bufferkit/internal/delay"
+	"bufferkit/internal/netgen"
+	"bufferkit/internal/tree"
+)
+
+// GenOpts parameterizes Generate.
+type GenOpts struct {
+	// W and H are the grid dimensions in sites (default 16×16).
+	W, H int
+	// Nets is the number of nets to generate (default 64).
+	Nets int
+	// Capacity is the per-site buffer capacity (default 2).
+	Capacity int
+	// Contention in [0, 1] is the fraction of nets routed through the
+	// central hotspot window, concentrating demand on a few sites
+	// (default 0.5). 0 spreads nets uniformly.
+	Contention float64
+	// Pitch is the site spacing in µm (default 700): every routing step
+	// between adjacent sites is one Pitch of wire.
+	Pitch float64
+	// Seed seeds the generator; instances are deterministic per seed.
+	Seed int64
+	// Wire is the per-µm wire parameterization; zero value = PaperWire.
+	Wire netgen.Wire
+}
+
+func (o *GenOpts) fill() {
+	if o.W <= 0 {
+		o.W = 16
+	}
+	if o.H <= 0 {
+		o.H = 16
+	}
+	if o.Nets <= 0 {
+		o.Nets = 64
+	}
+	if o.Capacity <= 0 {
+		o.Capacity = 2
+	}
+	if o.Contention < 0 {
+		o.Contention = 0
+	}
+	if o.Contention > 1 {
+		o.Contention = 1
+	}
+	if o.Pitch <= 0 {
+		o.Pitch = 700
+	}
+	if o.Wire == (netgen.Wire{}) {
+		o.Wire = netgen.PaperWire()
+	}
+}
+
+// cell is a grid coordinate.
+type cell struct{ x, y int }
+
+// lRoute returns the L-shaped Manhattan cell path from a to b (inclusive),
+// horizontal leg first when horiz is true.
+func lRoute(a, b cell, horiz bool) []cell {
+	var path []cell
+	step := func(from, to, fixed int, xAxis bool) {
+		d := 1
+		if to < from {
+			d = -1
+		}
+		for v := from; v != to; v += d {
+			if xAxis {
+				path = append(path, cell{v, fixed})
+			} else {
+				path = append(path, cell{fixed, v})
+			}
+		}
+	}
+	if horiz {
+		step(a.x, b.x, a.y, true)
+		step(a.y, b.y, b.x, false)
+	} else {
+		step(a.y, b.y, a.x, false)
+		step(a.x, b.x, b.y, true)
+	}
+	return append(path, b)
+}
+
+// Generate builds a seeded multi-net instance over a shared site grid:
+// 2-pin nets routed as L-shaped Manhattan paths, each intermediate site a
+// buffer position, with a Contention-controlled fraction of nets detoured
+// through the grid's central window so they compete for the same sites.
+func Generate(o GenOpts) *Instance {
+	o.fill()
+	rng := rand.New(rand.NewSource(o.Seed))
+	inst := &Instance{Grid: Grid{W: o.W, H: o.H, Capacity: o.Capacity}}
+	minDist := (o.W + o.H) / 3
+	if minDist < 2 {
+		minDist = 2
+	}
+	center := cell{o.W / 2, o.H / 2}
+
+	for i := 0; i < o.Nets; i++ {
+		src := cell{rng.Intn(o.W), rng.Intn(o.H)}
+		dst := src
+		for abs(dst.x-src.x)+abs(dst.y-src.y) < minDist {
+			dst = cell{rng.Intn(o.W), rng.Intn(o.H)}
+		}
+		var path []cell
+		if rng.Float64() < o.Contention {
+			// Detour through the hotspot window around the grid center.
+			via := cell{center.x + rng.Intn(3) - 1, center.y + rng.Intn(3) - 1}
+			via.x, via.y = clamp(via.x, 0, o.W-1), clamp(via.y, 0, o.H-1)
+			path = lRoute(src, via, rng.Intn(2) == 0)
+			path = append(path, lRoute(via, dst, rng.Intn(2) == 0)[1:]...)
+		} else {
+			path = lRoute(src, dst, rng.Intn(2) == 0)
+		}
+
+		b := tree.NewBuilder()
+		sites := []int{NoSite} // vertex 0: source
+		visited := map[cell]bool{src: true, dst: true}
+		prev, pending := 0, 0.0
+		for _, c := range path[1:] {
+			pending += o.Pitch
+			if c == dst || visited[c] {
+				continue // merge repeated cells into one longer wire
+			}
+			visited[c] = true
+			r, wc := o.Wire.Edge(pending)
+			prev = b.AddBufferPos(prev, r, wc)
+			sites = append(sites, inst.Grid.Site(c.x, c.y))
+			pending = 0
+		}
+		r, wc := o.Wire.Edge(pending)
+		b.AddSink(prev, r, wc, 5+rng.Float64()*15, 200+rng.Float64()*600)
+		sites = append(sites, NoSite)
+
+		inst.Nets = append(inst.Nets, Net{
+			Name:   fmt.Sprintf("net%04d", i),
+			Tree:   b.MustBuild(),
+			Driver: delay.Driver{R: 0.1 + rng.Float64()*0.2, K: rng.Float64() * 10},
+			Site:   sites,
+		})
+	}
+	return inst
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func clamp(x, lo, hi int) int {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}

@@ -108,6 +108,16 @@ type Options struct {
 	// CheckInvariants validates every candidate list after every operation.
 	// For tests; roughly doubles runtime.
 	CheckInvariants bool
+	// SitePenalty, when non-nil, is a per-vertex slack penalty (ps): every
+	// buffered candidate created at vertex v has SitePenalty[v] subtracted
+	// from its Q. It is the hook the chip-scale allocator (internal/chip)
+	// uses to fold Lagrangian site prices into the per-net oracle. The DP
+	// then maximizes min over sinks of slack minus the summed penalties on
+	// the path to that sink — exact pricing on 2-pin nets, a pessimistic
+	// heuristic on multi-sink nets (the min at merges is not additive; see
+	// DESIGN.md §14). nil (the default) is bit-identical to an all-zero
+	// penalty vector at zero cost. Length must be at least the tree size.
+	SitePenalty []float64
 }
 
 // Stats are instrumentation counters for one run. Both backends populate
@@ -199,6 +209,10 @@ func (e *Engine) Reset(t *tree.Tree, lib library.Library, opt Options) error {
 	e.ready = false // a failed Reset must not leave a runnable stale instance
 	if err := lib.Validate(); err != nil {
 		return err
+	}
+	if opt.SitePenalty != nil && len(opt.SitePenalty) < t.Len() {
+		return solvererr.Validation("core", "site_penalty",
+			"penalty vector length %d < tree size %d", len(opt.SitePenalty), t.Len())
 	}
 	polar := lib.HasInverters()
 	for i := range t.Verts {

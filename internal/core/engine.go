@@ -197,6 +197,14 @@ func (e *engine[L, A]) addBuffer(v int, acc *pair[L], allowed []int) {
 		e.stats.SumHullLen += h.Len()
 	}
 
+	// Per-vertex site price: a candidate buffered here starts its upstream
+	// life with the price already paid. The nil path performs exactly the
+	// original float operations, keeping unpriced runs bit-identical.
+	penalty := 0.0
+	if pen := e.opt.SitePenalty; pen != nil {
+		penalty = pen[v]
+	}
+
 	// One monotone pointer per source hull, shared across all types since
 	// the library is walked in non-increasing R order (Lemma 1). The walk
 	// reads the packed hull arrays directly — no candidate structures, no
@@ -228,8 +236,12 @@ func (e *engine[L, A]) addBuffer(v int, acc *pair[L], allowed []int) {
 			}
 			srcDec, cursor := acc[src].HullDec(h, p, decPos[src])
 			decPos[src] = cursor
+			q := h.Q[p] - b.R*h.C[p] - b.K
+			if penalty != 0 {
+				q -= penalty
+			}
 			beta := candidate.Beta{
-				Q:      h.Q[p] - b.R*h.C[p] - b.K,
+				Q:      q,
 				C:      b.Cin,
 				Buffer: ti,
 				Vertex: v,

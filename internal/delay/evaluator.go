@@ -1,0 +1,78 @@
+package delay
+
+import (
+	"math"
+
+	"bufferkit/internal/library"
+	"bufferkit/internal/tree"
+)
+
+// Evaluator computes the slack of a placement on a tree with reusable
+// scratch — the alloc-free counterpart of Evaluate for inner loops that
+// re-time many placements (the variation sweep, the chip allocator's
+// per-round true-slack accounting). It performs the same floating-point
+// operations in the same order as Evaluate, so its slack agrees bit-for-bit
+// with both the oracle and the dynamic program.
+//
+// An Evaluator is not safe for concurrent use; give each worker its own.
+type Evaluator struct {
+	view, out []float64
+	// MinSlack is the slack of the last Slack call: min over sinks of
+	// RAT − arrival.
+	MinSlack float64
+}
+
+// Slack fills e.MinSlack and returns the critical sink index (-1 when the
+// tree has no sinks). Placements handed to it come from the DP (or from a
+// prior DP run on the same tree), so it skips the legality validation
+// Evaluate performs.
+func (e *Evaluator) Slack(t *tree.Tree, lib library.Library, p Placement, drv Driver) (critical int) {
+	n := t.Len()
+	if cap(e.view) < n {
+		e.view = make([]float64, n)
+		e.out = make([]float64, n)
+	}
+	view, out := e.view[:n], e.out[:n]
+
+	for _, v := range t.PostOrder() {
+		vert := &t.Verts[v]
+		if vert.Kind == tree.Sink {
+			view[v] = vert.Cap
+			continue
+		}
+		load := 0.0
+		for _, c := range t.Children(v) {
+			load += t.Verts[c].EdgeC + view[c]
+		}
+		if b := p[v]; b != NoBuffer {
+			view[v] = lib[b].Cin
+			out[v] = load // stash the driven load for the forward pass
+		} else {
+			view[v] = load
+			out[v] = load
+		}
+	}
+
+	rootLoad := out[0]
+	arr0 := drv.K + drv.R*rootLoad
+	e.MinSlack = math.Inf(1)
+	critical = -1
+	// Forward scan: out[v] becomes the delay at v's output side.
+	out[0] = arr0
+	for v := 1; v < n; v++ {
+		vert := &t.Verts[v]
+		arr := out[vert.Parent] + WireDelay(vert.EdgeR, vert.EdgeC, view[v])
+		if b := p[v]; b != NoBuffer {
+			out[v] = arr + lib[b].Delay(out[v])
+		} else {
+			out[v] = arr
+		}
+		if vert.Kind == tree.Sink {
+			if s := vert.RAT - arr; s < e.MinSlack {
+				e.MinSlack = s
+				critical = v
+			}
+		}
+	}
+	return critical
+}

@@ -81,6 +81,32 @@ func YieldBenchCases() []YieldBenchCase {
 	}
 }
 
+// ChipBenchCase is one workload of the chip price-and-resolve benchmark
+// series, shared by the root BenchmarkChipSolve and repro -bench-json so
+// both trajectories measure the same instances under the same names.
+type ChipBenchCase struct {
+	Name string
+	Opts bufferkit.ChipGenOpts
+}
+
+// ChipBenchCases returns the canonical chip-allocation benchmark series:
+// an uncontended instance (every net solves once, no pricing pressure —
+// the parallel fan-out floor) and a center-contended instance that
+// exercises the full price-and-resolve loop. scale divides the net count
+// the same way Config.Scale divides the paper's nets.
+func ChipBenchCases(scale int) []ChipBenchCase {
+	if scale < 1 {
+		scale = 1
+	}
+	nets := max(16, 256/scale)
+	return []ChipBenchCase{
+		{"chip/uncontended", bufferkit.ChipGenOpts{
+			W: 16, H: 16, Nets: nets, Capacity: 64, Contention: 0, Seed: 1}},
+		{"chip/contended", bufferkit.ChipGenOpts{
+			W: 16, H: 16, Nets: nets, Capacity: 2, Contention: 0.7, Seed: 1}},
+	}
+}
+
 // BenchResult is one benchmark measurement in the JSON trajectory format
 // consumed by BENCH_*.json tracking.
 type BenchResult struct {
@@ -90,6 +116,10 @@ type BenchResult struct {
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	NetsPerSec  float64 `json:"nets_per_sec,omitempty"`
+	// RoundsToFeasible is the chip series' convergence metric: how many
+	// pricing (plus repair) rounds the allocator took to reach zero
+	// overflow on the deterministic instance.
+	RoundsToFeasible int `json:"rounds_to_feasible,omitempty"`
 }
 
 // BenchReport is the top-level JSON document emitted by BenchJSON.
@@ -214,6 +244,37 @@ func BenchJSON(cfg Config, w io.Writer) error {
 				}
 			}
 		}))
+		solver.Close()
+	}
+
+	// Chip price-and-resolve series: multi-net allocation over a shared
+	// site grid. nets/s here means oracle re-solves per second (the sum of
+	// every round's resolved nets), and rounds_to_feasible records the
+	// deterministic convergence of the instance.
+	for _, cb := range ChipBenchCases(cfg.Scale) {
+		solver, err := bufferkit.NewSolver(bufferkit.WithLibrary(lib))
+		if err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		ctx := context.Background()
+		inst := bufferkit.GenerateChip(cb.Opts)
+		warm, err := solver.SolveChip(ctx, inst) // warm the pool, record rounds
+		if err != nil {
+			return fmt.Errorf("bench-json: %w", err)
+		}
+		solves := 0
+		for _, r := range warm.Rounds {
+			solves += r.Resolved
+		}
+		add(cb.Name, solves, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := solver.SolveChip(ctx, inst); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}))
+		report.Results[len(report.Results)-1].RoundsToFeasible = len(warm.Rounds)
 		solver.Close()
 	}
 

@@ -13,6 +13,41 @@ import (
 	"bufferkit/internal/library"
 )
 
+// DominancePrune drops every buffer type strictly dominated within its
+// polarity class: type j is dominated when some type i of the same
+// Inverting flag has R ≤, K ≤ and Cin strictly less. A dominated type's
+// candidate at any position has no better slack and strictly more input
+// capacitance than the dominating type's, so the engines' candidate
+// normalization discards it before it can influence anything — pruning the
+// library up front is therefore bit-exact for slack-optimal insertion
+// (asserted against the full library by the root differential suite). The
+// strict Cin requirement keeps the pruned set unique and order-stable.
+// Returns the surviving types and their original indices, in original
+// order. Cost is deliberately ignored: a dominated-but-cheaper type is a
+// legitimate cost–slack frontier point, so cost-aware surfaces must not
+// prune.
+func DominancePrune(lib library.Library) (library.Library, []int) {
+	out := make(library.Library, 0, len(lib))
+	idx := make([]int, 0, len(lib))
+	for j, bj := range lib {
+		dominated := false
+		for i, bi := range lib {
+			if i == j || bi.Inverting != bj.Inverting {
+				continue
+			}
+			if bi.R <= bj.R && bi.K <= bj.K && bi.Cin < bj.Cin {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, bj)
+			idx = append(idx, j)
+		}
+	}
+	return out, idx
+}
+
 // Reduce selects k representative buffer types from lib using deterministic
 // greedy k-center clustering in a normalized (log R, log Cin, K) feature
 // space. Inverting and non-inverting types are clustered separately with

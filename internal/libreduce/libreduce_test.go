@@ -134,3 +134,35 @@ func TestReducedLibraryNeverBeatsFull(t *testing.T) {
 		}
 	}
 }
+
+func TestDominancePrune(t *testing.T) {
+	lib := library.Library{
+		{Name: "a", R: 1.0, Cin: 10, K: 5},
+		{Name: "a_dom", R: 1.2, Cin: 10.5, K: 6},              // dominated by a
+		{Name: "b", R: 0.5, Cin: 20, K: 5},                    // pareto: lower R
+		{Name: "inv", R: 1.0, Cin: 10, K: 5, Inverting: true}, // other class
+		{Name: "inv_dom", R: 1.0, Cin: 11, K: 5, Inverting: true},
+	}
+	out, idx := DominancePrune(lib)
+	wantIdx := []int{0, 2, 3}
+	if !reflect.DeepEqual(idx, wantIdx) {
+		t.Fatalf("kept indices %v, want %v", idx, wantIdx)
+	}
+	for i, j := range idx {
+		if out[i] != lib[j] {
+			t.Fatalf("kept type %d is not lib[%d]", i, j)
+		}
+	}
+
+	// A library with no dominated types survives untouched, in order.
+	clean := library.Generate(8)
+	out, idx = DominancePrune(clean)
+	if len(out) != len(clean) {
+		t.Fatalf("pruned %d types from a graded library", len(clean)-len(out))
+	}
+	for i := range idx {
+		if idx[i] != i {
+			t.Fatalf("index map %v is not the identity", idx)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	POST /v1/solve      solve one net, JSON in / JSON out
 //	POST /v1/batch      solve many nets, JSON in / NDJSON stream out
 //	POST /v1/yield      Monte Carlo / multi-corner yield analysis
+//	POST /v1/chip       multi-net chip solve, JSON in / NDJSON rounds out
 //	GET  /v1/algorithms registered algorithms with descriptions
 //	GET  /healthz       liveness probe
 //	GET  /readyz        readiness probe (503 while draining)
@@ -89,6 +90,9 @@ type Config struct {
 	// MaxYieldSamples bounds the Monte Carlo corners accepted by one
 	// /v1/yield call (0 = 1024).
 	MaxYieldSamples int
+	// MaxChipNets bounds the nets accepted by one /v1/chip instance
+	// (0 = 10000).
+	MaxChipNets int
 }
 
 func (c *Config) fill() {
@@ -124,6 +128,9 @@ func (c *Config) fill() {
 	}
 	if c.MaxYieldSamples <= 0 {
 		c.MaxYieldSamples = 1024
+	}
+	if c.MaxChipNets <= 0 {
+		c.MaxChipNets = 10000
 	}
 }
 
@@ -213,6 +220,15 @@ type Server struct {
 	yieldSamples        *expvar.Int
 	yieldDeadlineAborts *expvar.Int
 	yieldAbortedSamples *expvar.Int
+
+	// Chip-solve counters. chipRounds counts pricing/repair rounds
+	// streamed; the abort pair mirrors the yield story — a chip solve
+	// killed mid-run still reports the rounds it completed.
+	chipReqs           *expvar.Int
+	chipNets           *expvar.Int
+	chipRounds         *expvar.Int
+	chipDeadlineAborts *expvar.Int
+	chipAbortedRounds  *expvar.Int
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -249,6 +265,12 @@ func New(cfg Config) *Server {
 		yieldSamples:        new(expvar.Int),
 		yieldDeadlineAborts: new(expvar.Int),
 		yieldAbortedSamples: new(expvar.Int),
+
+		chipReqs:           new(expvar.Int),
+		chipNets:           new(expvar.Int),
+		chipRounds:         new(expvar.Int),
+		chipDeadlineAborts: new(expvar.Int),
+		chipAbortedRounds:  new(expvar.Int),
 	}
 	s.metrics.Set("solve_requests", s.solveReqs)
 	s.metrics.Set("batch_requests", s.batchReqs)
@@ -264,6 +286,11 @@ func New(cfg Config) *Server {
 	s.metrics.Set("yield_samples", s.yieldSamples)
 	s.metrics.Set("yield_deadline_aborts", s.yieldDeadlineAborts)
 	s.metrics.Set("yield_aborted_samples", s.yieldAbortedSamples)
+	s.metrics.Set("chip_requests", s.chipReqs)
+	s.metrics.Set("chip_nets", s.chipNets)
+	s.metrics.Set("chip_rounds", s.chipRounds)
+	s.metrics.Set("chip_deadline_aborts", s.chipDeadlineAborts)
+	s.metrics.Set("chip_aborted_rounds", s.chipAbortedRounds)
 	s.metrics.Set("cache_hits", expvar.Func(func() any { return s.cache.Stats().Hits }))
 	s.metrics.Set("cache_misses", expvar.Func(func() any { return s.cache.Stats().Misses }))
 	s.metrics.Set("cache_evictions", expvar.Func(func() any { return s.cache.Stats().Evictions }))
@@ -297,6 +324,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/yield", s.handleYield)
+	mux.HandleFunc("POST /v1/chip", s.handleChip)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)

@@ -163,7 +163,7 @@ type SweepEngine struct {
 	slib   library.Library // scratch: lib with corner-scaled types
 	opt    core.Options
 	res    core.Result
-	ev     evaluator
+	ev     delay.Evaluator
 }
 
 // NewSweepEngine prepares a sweep engine for one (tree, library) instance.
@@ -226,7 +226,7 @@ func (e *SweepEngine) RunCorner(ctx context.Context, c Corner) (slack float64, c
 	// The evaluator re-derives the timing of the optimal placement to find
 	// the critical sink; the reported slack stays the DP's (the two agree
 	// to float tolerance, differing only in summation association).
-	critical = e.ev.slack(e.scaled, e.slib, e.res.Placement, e.opt.Driver)
+	critical = e.ev.Slack(e.scaled, e.slib, e.res.Placement, e.opt.Driver)
 	return e.res.Slack, critical, e.res.Placement, nil
 }
 
@@ -235,72 +235,8 @@ func (e *SweepEngine) RunCorner(ctx context.Context, c Corner) (slack float64, c
 // to score candidate placements across the whole corner set.
 func (e *SweepEngine) FixedSlack(c Corner, p delay.Placement) float64 {
 	e.apply(c)
-	e.ev.slack(e.scaled, e.slib, p, e.opt.Driver)
-	return e.ev.minSlack
-}
-
-// evaluator computes the slack of a placement on a (scaled) tree with
-// reusable scratch — the alloc-free counterpart of delay.Evaluate for the
-// sweep's inner loop. It performs the same floating-point operations in the
-// same order as delay.Evaluate, so its slack agrees bit-for-bit with both
-// the oracle and the dynamic program.
-type evaluator struct {
-	view, out []float64
-	minSlack  float64
-}
-
-// slack fills e.minSlack and returns the critical sink index. Placements
-// handed to it come from the DP (or from a prior DP run on the same tree),
-// so it skips the legality validation delay.Evaluate performs.
-func (e *evaluator) slack(t *tree.Tree, lib library.Library, p delay.Placement, drv delay.Driver) (critical int) {
-	n := t.Len()
-	if cap(e.view) < n {
-		e.view = make([]float64, n)
-		e.out = make([]float64, n)
-	}
-	view, out := e.view[:n], e.out[:n]
-
-	for _, v := range t.PostOrder() {
-		vert := &t.Verts[v]
-		if vert.Kind == tree.Sink {
-			view[v] = vert.Cap
-			continue
-		}
-		load := 0.0
-		for _, c := range t.Children(v) {
-			load += t.Verts[c].EdgeC + view[c]
-		}
-		if b := p[v]; b != delay.NoBuffer {
-			view[v] = lib[b].Cin
-			out[v] = load // stash the driven load for the forward pass
-		} else {
-			view[v] = load
-			out[v] = load
-		}
-	}
-
-	rootLoad := out[0]
-	arr0 := drv.K + drv.R*rootLoad
-	e.minSlack = math.Inf(1)
-	critical = -1
-	// Forward scan: out[v] becomes the delay at v's output side.
-	out[0] = arr0
-	for v := 1; v < n; v++ {
-		vert := &t.Verts[v]
-		arr := out[vert.Parent] + delay.WireDelay(vert.EdgeR, vert.EdgeC, view[v])
-		if b := p[v]; b != delay.NoBuffer {
-			out[v] = arr + lib[b].Delay(out[v])
-		} else {
-			out[v] = arr
-		}
-		if vert.Kind == tree.Sink {
-			if s := vert.RAT - arr; s < e.minSlack {
-				e.minSlack = s
-				critical = v
-			}
-		}
-	}
-	return critical
+	e.ev.Slack(e.scaled, e.slib, p, e.opt.Driver)
+	return e.ev.MinSlack
 }
 
 // Sweep re-optimizes the net under every corner of cfg on a worker pool of

@@ -8,6 +8,7 @@ import (
 
 	"bufferkit/internal/core"
 	"bufferkit/internal/costopt"
+	"bufferkit/internal/libreduce"
 	"bufferkit/internal/lillis"
 	"bufferkit/internal/solvererr"
 	"bufferkit/internal/vanginneken"
@@ -213,6 +214,9 @@ type Solver struct {
 	drivers  []Driver
 	workers  int
 	yield    yieldConfig // SolveYield options (see yield.go)
+	chip     chipConfig  // SolveChip options (see chip.go)
+	reduceK  int         // WithLibraryReduction: <0 dominance-only, >0 cluster target
+	libMap   []int       // reduced type index -> original library index; nil = identity
 
 	mu   sync.Mutex
 	algo Algorithm // lazily built warm instance for Run
@@ -292,6 +296,28 @@ func WithMaxCost(max int) Option {
 	return func(s *Solver) error { s.cfg.MaxCost = max; return nil }
 }
 
+// WithLibraryReduction shrinks the library before solving. k < 0 applies
+// dominance pruning only — dropping every type another type beats on all of
+// R, K and Cin — which is bit-exact for slack-optimal insertion: slacks and
+// placements are identical to the full library (asserted by the
+// differential suite). k > 0 additionally clusters the survivors down to at
+// most k representatives (Alpert-style k-center selection), trading
+// solution quality for a smaller b; the reproduction's library-reduction
+// experiment quantifies that loss. Placements are always reported in the
+// original library's index space. Incompatible with AlgoCostSlack (a
+// dominated-but-cheaper type is a legitimate frontier point) and with trees
+// using Vertex.Allowed (the per-vertex masks index the original library).
+func WithLibraryReduction(k int) Option {
+	return func(s *Solver) error {
+		if k == 0 {
+			return solvererr.Validation("bufferkit", "reduce",
+				"reduction target 0 is ambiguous: use a negative k for exact dominance-only pruning or k > 0 to cluster")
+		}
+		s.reduceK = k
+		return nil
+	}
+}
+
 // WithWorkers caps the number of concurrent workers used by Stream and
 // RunBatch; 0 or negative means runtime.GOMAXPROCS(0).
 func WithWorkers(n int) Option {
@@ -317,6 +343,9 @@ func NewSolver(opts ...Option) (*Solver, error) {
 	if err := s.cfg.Library.Validate(); err != nil {
 		return nil, err
 	}
+	if err := s.applyReduction(); err != nil {
+		return nil, err
+	}
 	// Give the algorithm a chance to reject the configuration up front;
 	// the instance doubles as the warm one Run will use.
 	algo := s.factory()
@@ -329,6 +358,64 @@ func NewSolver(opts ...Option) (*Solver, error) {
 	return s, nil
 }
 
+// applyReduction shrinks the solver's library per WithLibraryReduction and
+// records the reduced-to-original index map. Runs once in NewSolver, after
+// library validation and before algorithm config validation (so e.g. van
+// Ginneken's single-type check sees the library it will actually solve).
+func (s *Solver) applyReduction() error {
+	if s.reduceK == 0 {
+		return nil
+	}
+	if s.algoName == AlgoCostSlack {
+		return solvererr.Validation("bufferkit", "reduce",
+			"library reduction is incompatible with %q: dominated-but-cheaper types are legitimate frontier points", AlgoCostSlack)
+	}
+	reduced, idx := libreduce.DominancePrune(s.cfg.Library)
+	if s.reduceK > 0 && s.reduceK < len(reduced) {
+		clustered, idx2, err := libreduce.Reduce(reduced, s.reduceK)
+		if err != nil {
+			return err
+		}
+		for i, j := range idx2 {
+			idx2[i] = idx[j]
+		}
+		reduced, idx = clustered, idx2
+	}
+	if len(reduced) == len(s.cfg.Library) {
+		return nil // nothing pruned; skip the remap entirely
+	}
+	s.cfg.Library, s.libMap = reduced, idx
+	return nil
+}
+
+// checkReducible rejects trees whose per-vertex Allowed masks would be
+// misread against a reduced library (they index the original one).
+func (s *Solver) checkReducible(t *Tree) error {
+	if s.libMap == nil {
+		return nil
+	}
+	for v := range t.Verts {
+		if t.Verts[v].Allowed != nil {
+			return solvererr.Validation("bufferkit", "allowed",
+				"vertex %d restricts allowed types by original library index; incompatible with WithLibraryReduction", v)
+		}
+	}
+	return nil
+}
+
+// remapPlacement rewrites type indices from the reduced library's index
+// space back to the original library the caller supplied.
+func (s *Solver) remapPlacement(p Placement) {
+	if s.libMap == nil {
+		return
+	}
+	for v, ti := range p {
+		if ti != NoBuffer {
+			p[v] = s.libMap[ti]
+		}
+	}
+}
+
 // Algorithm returns the name of the algorithm this solver dispatches to.
 func (s *Solver) Algorithm() string { return s.algoName }
 
@@ -336,12 +423,20 @@ func (s *Solver) Algorithm() string { return s.algoName }
 // Concurrent Run calls are serialized; use Stream or RunBatch for
 // parallelism across nets.
 func (s *Solver) Run(ctx context.Context, t *Tree) (*NetResult, error) {
+	if err := s.checkReducible(t); err != nil {
+		return nil, err
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.algo == nil {
 		s.algo = s.factory()
 	}
-	return s.algo.Solve(ctx, t, s.cfg)
+	nr, err := s.algo.Solve(ctx, t, s.cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.remapPlacement(nr.Placement)
+	return nr, nil
 }
 
 // Close releases pooled resources held by the solver's warm algorithm

@@ -72,7 +72,14 @@ func (s *Solver) Stream(ctx context.Context, nets []*Tree) iter.Seq2[NetResult, 
 					if s.drivers != nil {
 						cfg.Driver = s.drivers[i]
 					}
-					nr, err := algo.Solve(ctx, nets[i], cfg)
+					var nr *NetResult
+					err := s.checkReducible(nets[i])
+					if err == nil {
+						nr, err = algo.Solve(ctx, nets[i], cfg)
+					}
+					if err == nil {
+						s.remapPlacement(nr.Placement)
+					}
 					it := item{err: err}
 					if err != nil {
 						// A genuine cancellation abort is not a per-net

@@ -109,10 +109,10 @@ func WithRobustPlacement(robust bool) Option {
 	return func(s *Solver) error { s.yield.robust = robust; return nil }
 }
 
-// yieldBackend resolves the candidate-list backend a yield sweep runs on,
-// honoring the pinned AlgoCore / AlgoCoreSoA registry entries the same way
-// Run does.
-func (s *Solver) yieldBackend() (core.Backend, error) {
+// coreBackend resolves the candidate-list backend for surfaces that run
+// directly on the core engine (yield sweeps, chip allocation), honoring the
+// pinned AlgoCore / AlgoCoreSoA registry entries the same way Run does.
+func (s *Solver) coreBackend(surface string) (core.Backend, error) {
 	switch s.algoName {
 	case AlgoNew:
 		return s.cfg.Backend, nil
@@ -122,8 +122,8 @@ func (s *Solver) yieldBackend() (core.Backend, error) {
 		return core.BackendSoA, nil
 	}
 	return 0, solvererr.Validation("bufferkit", "algorithm",
-		"yield analysis runs on the core engine; algorithm %q is not supported (use %q, %q or %q)",
-		s.algoName, AlgoNew, AlgoCore, AlgoCoreSoA)
+		"%s runs on the core engine; algorithm %q is not supported (use %q, %q or %q)",
+		surface, s.algoName, AlgoNew, AlgoCore, AlgoCoreSoA)
 }
 
 // yieldCorners assembles the corner list of one sweep: nominal first, then
@@ -154,11 +154,14 @@ func (s *Solver) yieldCorners() []Corner {
 // backends). Cancellation mid-sweep returns a *PartialSweepError wrapping
 // ErrCanceled with completed/total sample counts.
 func (s *Solver) SolveYield(ctx context.Context, t *Tree) (*YieldResult, error) {
-	backend, err := s.yieldBackend()
+	backend, err := s.coreBackend("yield analysis")
 	if err != nil {
 		return nil, err
 	}
-	return variation.Sweep(ctx, t, s.cfg.Library, variation.Config{
+	if err := s.checkReducible(t); err != nil {
+		return nil, err
+	}
+	res, err := variation.Sweep(ctx, t, s.cfg.Library, variation.Config{
 		Corners:         s.yieldCorners(),
 		Driver:          s.cfg.Driver,
 		Prune:           s.cfg.Prune,
@@ -170,4 +173,13 @@ func (s *Solver) SolveYield(ctx context.Context, t *Tree) (*YieldResult, error) 
 		GetEngine:       func() *core.Engine { return enginePool.Get().(*core.Engine) },
 		PutEngine:       func(e *core.Engine) { enginePool.Put(e) },
 	})
+	if res != nil {
+		// Report placements in the original library's index space (see
+		// WithLibraryReduction). Result.Placement aliases one of the group
+		// placements, so remapping the groups covers it.
+		for i := range res.Placements {
+			s.remapPlacement(res.Placements[i].Placement)
+		}
+	}
+	return res, err
 }
