@@ -258,6 +258,65 @@ func BenchmarkEngineReuse(b *testing.B) {
 	}
 }
 
+// BenchmarkECOResolve measures the incremental-session win: mode=cold is a
+// full warm-engine re-solve of the net, mode=delta a session resolve after
+// one sink patch, which recomputes only the leaf-to-root path. The case
+// table is shared with repro -bench-json (BENCH_engine.json's eco/ series)
+// through experiments.ECOBenchCases; the acceptance target is ≥10x on the
+// single-sink delta.
+func BenchmarkECOResolve(b *testing.B) {
+	for _, ec := range experiments.ECOBenchCases() {
+		sink := ec.Tree.Sinks()[0]
+		for _, backend := range []core.Backend{core.BackendList, core.BackendSoA} {
+			opt := core.Options{Driver: drv, Backend: backend}
+			b.Run(fmt.Sprintf("regime=%s/backend=%s/mode=cold", ec.Name, backend), func(b *testing.B) {
+				eng := core.NewEngine()
+				if err := eng.Reset(ec.Tree, ec.Lib, opt); err != nil {
+					b.Fatal(err)
+				}
+				res := &core.Result{}
+				if err := eng.Run(res); err != nil { // warm the arena slabs
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := eng.Run(res); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run(fmt.Sprintf("regime=%s/backend=%s/mode=delta", ec.Name, backend), func(b *testing.B) {
+				sess, err := core.NewSession(ec.Tree, ec.Lib, opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sess.Close()
+				ctx := context.Background()
+				res := &core.Result{}
+				for i := 0; i < 8; i++ { // first resolve is full; warm past it
+					if err := sess.PatchSink(sink, 1200+float64(i%7), 8); err != nil {
+						b.Fatal(err)
+					}
+					if err := sess.Resolve(ctx, res); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if err := sess.PatchSink(sink, 1200+float64(i%7), 8); err != nil {
+						b.Fatal(err)
+					}
+					if err := sess.Resolve(ctx, res); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
 // BenchmarkInsertBatch measures batch throughput scaling over a 256-net
 // workload: one engine+arena per worker, results identical to sequential
 // runs (asserted by the batch tests). The nets/s metric is the number the

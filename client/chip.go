@@ -36,9 +36,7 @@ func (c *Client) Chip(ctx context.Context, req ChipRequest) (*ChipStream, error)
 		cancel()
 		return nil, err
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &ChipStream{resp: resp, sc: sc, cancel: cancel}, nil
+	return &ChipStream{resp: resp, sc: newScanner(resp.Body), cancel: cancel}, nil
 }
 
 // Next returns the next stream line — a round record or the terminal
@@ -66,8 +64,8 @@ func (s *ChipStream) Next() (*ChipLine, error) {
 		return &line, nil
 	}
 	if err := s.sc.Err(); err != nil {
-		s.err = err
-		return nil, err
+		s.err = scanErr("/v1/chip", err)
+		return nil, s.err
 	}
 	s.err = io.EOF
 	return nil, io.EOF

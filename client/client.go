@@ -71,10 +71,11 @@ type Client struct {
 	// answered within this delay (0 = hedging off).
 	hedgeAfter time.Duration
 	budget     *retryBudget
-	// sleep and jitter are test seams; production uses real time and
+	// sleep, jitter and now are test seams; production uses real time and
 	// rand.Float64.
 	sleep  func(context.Context, time.Duration) error
 	jitter func() float64
+	now    func() time.Time
 }
 
 // Option configures a Client.
@@ -119,6 +120,7 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		budget: newRetryBudget(0.1, 10),
 		sleep:  sleepCtx,
 		jitter: rand.Float64,
+		now:    time.Now,
 	}
 	c.retry.fill()
 	for _, o := range opts {
@@ -258,24 +260,53 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 		apiErr.Message = strings.TrimSpace(string(raw))
 	}
 	if s := resp.Header.Get("Retry-After"); s != "" {
-		if secs, err := strconv.Atoi(s); err == nil && secs >= 0 {
-			apiErr.RetryAfter = time.Duration(secs) * time.Second
-		}
+		apiErr.RetryAfter = c.parseRetryAfter(s)
 	}
 	return nil, apiErr
 }
 
+// parseRetryAfter decodes a Retry-After header. RFC 9110 §10.2.3 allows two
+// forms: delta-seconds ("120") and an HTTP-date ("Fri, 07 Aug 2026 12:00:00
+// GMT"); proxies in particular favor the date form. Unparseable or past
+// values yield 0 (no hint — the computed backoff applies).
+func (c *Client) parseRetryAfter(s string) time.Duration {
+	if secs, err := strconv.Atoi(s); err == nil {
+		if secs < 0 {
+			return 0
+		}
+		return time.Duration(secs) * time.Second
+	}
+	if at, err := http.ParseTime(s); err == nil {
+		if d := at.Sub(c.now()); d > 0 {
+			return d
+		}
+	}
+	return 0
+}
+
 // postJSON runs the retry loop and decodes a JSON reply into out.
 func (c *Client) postJSON(ctx context.Context, path string, in, out any) error {
-	body, err := json.Marshal(in)
-	if err != nil {
-		return err
+	return c.doJSON(ctx, http.MethodPost, path, in, out)
+}
+
+// doJSON runs the retry loop for any method and decodes a JSON reply into
+// out (nil = discard).
+func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) error {
+	var body []byte
+	if in != nil {
+		var err error
+		if body, err = json.Marshal(in); err != nil {
+			return err
+		}
 	}
-	resp, err := c.do(ctx, http.MethodPost, path, body)
+	resp, err := c.do(ctx, method, path, body)
 	if err != nil {
 		return err
 	}
 	defer resp.Body.Close()
+	if out == nil {
+		return nil
+	}
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 

@@ -119,6 +119,52 @@ func TestRetryHonorsRetryAfter(t *testing.T) {
 	}
 }
 
+// TestRetryHonorsRetryAfterDate: RFC 9110 allows Retry-After to be an
+// HTTP-date as well as delta-seconds — proxies favor the date form. The
+// client converts it against its clock and waits exactly until the date.
+func TestRetryHonorsRetryAfterDate(t *testing.T) {
+	c, ft, sleeps := newTestClient(t, server.Config{})
+	epoch := time.Date(2026, time.August, 7, 12, 0, 0, 0, time.UTC)
+	c.now = func() time.Time { return epoch }
+	ft.Push(chaoskit.Fault{
+		Status: http.StatusServiceUnavailable,
+		Header: http.Header{"Retry-After": {epoch.Add(90 * time.Second).Format(http.TimeFormat)}},
+		Body:   `{"error":"draining"}`,
+	})
+	res, err := c.Solve(context.Background(), SolveRequest{
+		Net:     readTestdata(t, "line.net"),
+		Library: readTestdata(t, "lib8.buf"),
+	})
+	if err != nil || res == nil {
+		t.Fatalf("solve after one dated 503 failed: %v", err)
+	}
+	if ft.Requests() != 2 {
+		t.Fatalf("transport saw %d requests, want 2", ft.Requests())
+	}
+	if len(*sleeps) != 1 || (*sleeps)[0] != 90*time.Second {
+		t.Fatalf("sleeps = %v, want exactly the 90s until the server's Retry-After date", *sleeps)
+	}
+	// A date in the past (or garbage) is no hint: the computed backoff
+	// applies, which for the default policy stays under a second.
+	for _, s := range []string{epoch.Add(-time.Hour).Format(http.TimeFormat), "soon"} {
+		ft.Push(chaoskit.Fault{
+			Status: http.StatusServiceUnavailable,
+			Header: http.Header{"Retry-After": {s}},
+			Body:   `{"error":"draining"}`,
+		})
+		*sleeps = (*sleeps)[:0]
+		if _, err := c.Solve(context.Background(), SolveRequest{
+			Net:     readTestdata(t, "line.net"),
+			Library: readTestdata(t, "lib8.buf"),
+		}); err != nil {
+			t.Fatalf("Retry-After %q: solve failed: %v", s, err)
+		}
+		if len(*sleeps) != 1 || (*sleeps)[0] <= 0 || (*sleeps)[0] >= time.Second {
+			t.Fatalf("Retry-After %q: sleeps = %v, want one computed backoff", s, *sleeps)
+		}
+	}
+}
+
 // TestRetryBacksOffWithJitter: without a server hint, delays follow the
 // jittered exponential envelope [base/2·2ⁿ, base·2ⁿ).
 func TestRetryBacksOffWithJitter(t *testing.T) {

@@ -1,0 +1,84 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"testing"
+
+	"bufferkit/internal/server"
+)
+
+// TestSessionHandleSurvivesEviction: the stateful Session handle hides
+// server-side eviction — a 404 on a patches-only PUT triggers a transparent
+// recreate that replays the full patch history, so the caller sees the same
+// state before and after.
+func TestSessionHandleSurvivesEviction(t *testing.T) {
+	c, ft, _ := newTestClient(t, server.Config{})
+	ctx := context.Background()
+	s := c.Session("eco", readTestdata(t, "line.net"), readTestdata(t, "lib8.buf"), SolveOptions{})
+
+	base, err := s.Resolve(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.created || !base.Session.Created || base.Session.ID != "eco" {
+		t.Fatalf("first resolve session block = %+v", base.Session)
+	}
+
+	res, err := s.Patch(ctx, SinkPatch("v25", 500, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Session.Created || res.Slack == base.Slack {
+		t.Fatalf("patch result = slack %v session %+v, want a changed slack on the old session", res.Slack, res.Session)
+	}
+
+	// Evict behind the handle's back; the next call must recreate and replay.
+	if err := c.SessionDelete(ctx, "eco"); err != nil {
+		t.Fatal(err)
+	}
+	before := ft.Requests()
+	revived, err := s.Resolve(ctx)
+	if err != nil {
+		t.Fatalf("resolve after eviction: %v", err)
+	}
+	if !revived.Session.Created {
+		t.Fatal("handle did not recreate the evicted session")
+	}
+	if revived.Slack != res.Slack {
+		t.Fatalf("replayed history gave slack %v, want %v (state before eviction)", revived.Slack, res.Slack)
+	}
+	if got := ft.Requests() - before; got != 2 {
+		t.Fatalf("recreate took %d requests, want 2 (404 + replay PUT)", got)
+	}
+
+	// Close deletes server-side; closing an already-gone session is not an
+	// error, and the handle stays revivable.
+	if err := s.Close(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(ctx); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	again, err := s.Resolve(ctx)
+	if err != nil || again.Slack != res.Slack {
+		t.Fatalf("revive after close: slack %v err %v, want %v", again, err, res.Slack)
+	}
+}
+
+// TestSessionPutErrorsSurface: raw PUT errors carry their HTTP status so
+// callers (and the handle's 404 logic) can tell eviction from bad input.
+func TestSessionPutErrorsSurface(t *testing.T) {
+	c, _, _ := newTestClient(t, server.Config{})
+	ctx := context.Background()
+
+	_, err := c.SessionPut(ctx, "ghost", SessionRequest{})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("patch of unknown session: %v, want 404 APIError", err)
+	}
+	if err := c.SessionDelete(ctx, "ghost"); !errors.As(err, &apiErr) || apiErr.Status != http.StatusNotFound {
+		t.Fatalf("delete of unknown session: %v, want 404 APIError", err)
+	}
+}

@@ -4,10 +4,39 @@ import (
 	"bufio"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 )
+
+// maxScanBuf caps one NDJSON line on the batch and chip streams. A var,
+// not a const, so tests can exercise the limit without allocating
+// multi-gigabyte lines.
+var maxScanBuf = 16 * 1024 * 1024
+
+// ErrLineTooLong reports an NDJSON line larger than the stream's scanner
+// buffer. Distinct from ErrTruncated: the server did not abort — the reply
+// is simply bigger than the client is willing to hold, which usually means
+// a placement so large the caller should solve that net individually.
+var ErrLineTooLong = errors.New("bufferkitd: NDJSON line exceeds the scanner buffer")
+
+// newScanner builds a line scanner bounded at maxScanBuf.
+func newScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, min(64*1024, maxScanBuf)), maxScanBuf)
+	return sc
+}
+
+// scanErr maps a scanner failure to its stream error: a bare
+// bufio.ErrTooLong names neither the endpoint nor the limit, so wrap it in
+// ErrLineTooLong with both.
+func scanErr(endpoint string, err error) error {
+	if errors.Is(err, bufio.ErrTooLong) {
+		return fmt.Errorf("%w (%s, limit %d bytes): %w", ErrLineTooLong, endpoint, maxScanBuf, err)
+	}
+	return err
+}
 
 // BatchStream iterates a /v1/batch NDJSON response. Not safe for
 // concurrent use. Close it when done (early Close aborts the server-side
@@ -40,9 +69,7 @@ func (c *Client) Batch(ctx context.Context, req BatchRequest) (*BatchStream, err
 		cancel()
 		return nil, err
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	return &BatchStream{resp: resp, sc: sc, cancel: cancel}, nil
+	return &BatchStream{resp: resp, sc: newScanner(resp.Body), cancel: cancel}, nil
 }
 
 // Next returns the next batch line, or io.EOF after the last one. A
@@ -69,8 +96,8 @@ func (s *BatchStream) Next() (*BatchLine, error) {
 		return &line, nil
 	}
 	if err := s.sc.Err(); err != nil {
-		s.err = err
-		return nil, err
+		s.err = scanErr("/v1/batch", err)
+		return nil, s.err
 	}
 	s.complete = true
 	s.err = io.EOF

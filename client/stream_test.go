@@ -1,0 +1,101 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// ndjsonServer serves one canned NDJSON body on every path, plus a client
+// for it with the scan limit lowered so the oversized-line path is testable
+// without multi-gigabyte payloads.
+func ndjsonServer(t *testing.T, body string, limit int) *Client {
+	t.Helper()
+	old := maxScanBuf
+	maxScanBuf = limit
+	t.Cleanup(func() { maxScanBuf = old })
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		io.WriteString(w, body)
+	}))
+	t.Cleanup(srv.Close)
+	c, err := New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestBatchOversizedLineSurfacesTyped: a line larger than the scanner
+// buffer used to surface as a bare bufio.ErrTooLong ("token too long") with
+// no hint of which stream or limit was involved. It must wrap
+// ErrLineTooLong, name the endpoint and limit, keep the bufio cause, and
+// stay distinct from ErrTruncated.
+func TestBatchOversizedLineSurfacesTyped(t *testing.T) {
+	huge := `{"index":0,"error":"` + strings.Repeat("x", 4096) + `"}` + "\n"
+	c := ndjsonServer(t, huge, 1024)
+	stream, err := c.Batch(context.Background(), BatchRequest{Library: "l", Nets: []string{"n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	_, err = stream.Next()
+	if !errors.Is(err, ErrLineTooLong) {
+		t.Fatalf("err = %v, want ErrLineTooLong", err)
+	}
+	if !errors.Is(err, bufio.ErrTooLong) {
+		t.Fatalf("err = %v, the bufio cause must stay unwrappable", err)
+	}
+	if errors.Is(err, ErrTruncated) {
+		t.Fatalf("err = %v must not read as a server-side truncation", err)
+	}
+	if !strings.Contains(err.Error(), "/v1/batch") || !strings.Contains(err.Error(), "1024") {
+		t.Fatalf("err = %v, want the endpoint and limit named", err)
+	}
+	// The error is sticky, like every other stream failure.
+	if _, err2 := stream.Next(); !errors.Is(err2, ErrLineTooLong) {
+		t.Fatalf("second Next = %v, want the sticky error", err2)
+	}
+}
+
+// TestCollectDistinguishesTooLongFromTruncated: Collect callers branch on
+// the error kind — a truncated batch may be resumed from the last index, an
+// oversized line never can be.
+func TestCollectDistinguishesTooLongFromTruncated(t *testing.T) {
+	huge := `{"index":0,"error":"` + strings.Repeat("x", 4096) + `"}` + "\n"
+	c := ndjsonServer(t, huge, 1024)
+	stream, err := c.Batch(context.Background(), BatchRequest{Library: "l", Nets: []string{"n"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	_, err = stream.Collect(1)
+	if !errors.Is(err, ErrLineTooLong) || errors.Is(err, ErrTruncated) {
+		t.Fatalf("Collect err = %v, want ErrLineTooLong and not ErrTruncated", err)
+	}
+}
+
+// TestChipOversizedLineSurfacesTyped: the chip stream shares the pattern
+// and names its own endpoint.
+func TestChipOversizedLineSurfacesTyped(t *testing.T) {
+	huge := `{"done":{"rounds":` + strings.Repeat("1", 4096) + `}}` + "\n"
+	c := ndjsonServer(t, huge, 1024)
+	stream, err := c.Chip(context.Background(), ChipRequest{Library: "l"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stream.Close()
+	_, _, err = stream.Collect()
+	if !errors.Is(err, ErrLineTooLong) || errors.Is(err, ErrTruncated) {
+		t.Fatalf("Collect err = %v, want ErrLineTooLong and not ErrTruncated", err)
+	}
+	if !strings.Contains(err.Error(), "/v1/chip") {
+		t.Fatalf("err = %v, want the /v1/chip endpoint named", err)
+	}
+}

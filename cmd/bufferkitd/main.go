@@ -18,6 +18,7 @@
 //	POST /v1/batch      many nets, JSON in / NDJSON stream out
 //	POST /v1/yield      Monte Carlo / multi-corner yield analysis
 //	POST /v1/chip       multi-net chip solve, JSON in / NDJSON rounds out
+//	PUT  /v1/sessions/{id} incremental ECO session: create, patch, re-solve
 //	GET  /v1/algorithms algorithm registry with descriptions
 //	GET  /healthz       liveness probe
 //	GET  /readyz        readiness probe (503 while draining)
@@ -71,6 +72,8 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 		maxYield     = fs.Int("max-yield-samples", 1024, "max Monte Carlo samples per /v1/yield request")
 		maxChip      = fs.Int("max-chip-nets", 10000, "max nets per /v1/chip instance")
 		maxQueue     = fs.Int("max-queue", 0, "admission queue length (0 = 8x concurrency, negative = no queue)")
+		maxSessions  = fs.Int("max-sessions", 0, "max retained ECO sessions, LRU-evicted beyond it (0 = 256, negative = disable the endpoint)")
+		sessionTTL   = fs.Duration("session-ttl", 0, "idle eviction TTL for ECO sessions (0 = 10m)")
 		queueTimeout = fs.Duration("queue-timeout", 0, "max admission-queue wait (0 = 10s, negative = wait for the request deadline)")
 		grace        = fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight solves")
 		drainWait    = fs.Duration("drain-wait", 0, "delay between flipping /readyz to 503 and closing the listener")
@@ -111,6 +114,8 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 			MaxChipNets:     *maxChip,
 			MaxQueue:        *maxQueue,
 			QueueTimeout:    *queueTimeout,
+			MaxSessions:     *maxSessions,
+			SessionTTL:      *sessionTTL,
 		},
 		grace:     *grace,
 		drainWait: *drainWait,

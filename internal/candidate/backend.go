@@ -76,6 +76,7 @@ type Rep[L any] interface {
 	comparable
 	AddWire(r, c float64)
 	Len() int
+	Clone() L
 	MergeWith(o L) L
 	MergeBetas(betas []Beta)
 	InsertOne(q, c float64, dec DecRef) bool

@@ -152,6 +152,25 @@ func (l *List) pushBack(nd *Node) {
 	l.n++
 }
 
+// Clone returns an independent deep copy of the list from the same
+// allocator. Decision references are shared (decision records are immutable
+// once written), so a clone may be consumed — wired, merged, freed —
+// without disturbing the original. This is what lets a retained-frontier
+// resolve reuse a checkpointed sibling at a merge: the merge consumes the
+// clone, the checkpoint survives.
+func (l *List) Clone() *List {
+	var out *List
+	if l.ar != nil {
+		out = l.ar.NewList()
+	} else {
+		out = &List{}
+	}
+	for nd := l.front; nd != nil; nd = nd.next {
+		out.pushBack(out.newNode(nd.Q, nd.C, nd.Dec))
+	}
+	return out
+}
+
 // remove unlinks nd, recycles it, and returns the node that followed it.
 // The caller must drop every pointer to nd.
 func (l *List) remove(nd *Node) *Node {

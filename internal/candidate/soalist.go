@@ -103,6 +103,25 @@ func (l *SoAList) Free() {
 	}
 }
 
+// Clone returns an independent deep copy of the list from the same
+// allocator. Decision references are shared (decision records are immutable
+// once written), so a clone may be consumed — wired, merged, freed —
+// without disturbing the original. A clone drawn from the arena's free list
+// reuses retained slab capacity, so steady-state cloning allocates nothing.
+func (l *SoAList) Clone() *SoAList {
+	var out *SoAList
+	if l.ar != nil {
+		out = l.ar.NewSoAList()
+	} else {
+		out = &SoAList{}
+	}
+	n := len(l.q)
+	out.q = append(Resize(out.q, n)[:0], l.q...)
+	out.c = append(Resize(out.c, n)[:0], l.c...)
+	out.dec = append(Resize(out.dec, n)[:0], l.dec...)
+	return out
+}
+
 // AddWire applies a wire of resistance r (kΩ) and capacitance c (fF)
 // upstream: Q ← Q − r·(c/2 + C), C ← C + c, then compacts away candidates
 // whose new Q does not strictly exceed their surviving predecessor's — the

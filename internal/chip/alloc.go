@@ -50,9 +50,17 @@ type Config struct {
 	CheckInvariants bool
 	// GetEngine and PutEngine, when both non-nil, borrow warm core engines
 	// from a caller-owned pool — the bufferkit facade wires its shared
-	// engine pool in here.
+	// engine pool in here. They are used only on the cold-solve path
+	// (NoSessions); ECO sessions own a dedicated engine per net.
 	GetEngine func() *core.Engine
 	PutEngine func(*core.Engine)
+	// NoSessions disables the per-net incremental ECO sessions and re-solves
+	// every price-affected net from scratch each round — the pre-session
+	// cold path, kept as a differential reference (the two paths are
+	// bit-identical round for round, asserted by TestChipSessionsMatchCold)
+	// and as a low-memory fallback: sessions retain each net's candidate
+	// frontiers between rounds.
+	NoSessions bool
 	// OnRound, when non-nil, is called with each round's convergence
 	// record as soon as the round completes, from the coordinating
 	// goroutine — the server streams these as NDJSON.
@@ -161,15 +169,19 @@ type sited struct{ v, s int }
 // netState is the allocator's per-net working state.
 type netState struct {
 	net    *Net
-	tr     *tree.Tree // scratch clone; zero-capacity sites pre-masked
-	sites  []sited    // sited buffer positions, in vertex order
-	pen    []float64  // per-vertex penalty of the last solve
+	tr     *tree.Tree    // scratch clone; zero-capacity sites pre-masked
+	sess   *core.Session // incremental re-solver (nil under NoSessions)
+	sites  []sited       // sited buffer positions, in vertex order
+	pen    []float64     // per-vertex penalty of the last solve
 	plc    delay.Placement
 	slack  float64 // true (unpriced) slack of plc
 	solved bool
 }
 
-// solver is one worker's solving kit: a warm engine plus scratch.
+// solver is one worker's solving kit: scratch for results and slack
+// evaluation, plus a warm engine on the cold (NoSessions) path — sessions
+// carry their own engines, so session-mode workers skip the engine
+// entirely.
 type solver struct {
 	eng *core.Engine
 	put func(*core.Engine)
@@ -180,6 +192,9 @@ type solver struct {
 
 func newSolver(cfg *Config) *solver {
 	s := &solver{opt: core.Options{Prune: cfg.Prune, Backend: cfg.Backend, CheckInvariants: cfg.CheckInvariants}}
+	if !cfg.NoSessions {
+		return s
+	}
 	if cfg.GetEngine != nil && cfg.PutEngine != nil {
 		s.eng, s.put = cfg.GetEngine(), cfg.PutEngine
 	} else {
@@ -189,6 +204,9 @@ func newSolver(cfg *Config) *solver {
 }
 
 func (s *solver) release() {
+	if s.eng == nil {
+		return
+	}
 	s.eng.Release()
 	if s.put != nil {
 		s.put(s.eng)
@@ -210,6 +228,27 @@ func (s *solver) solve(ctx context.Context, st *netState, lib library.Library, p
 		return err
 	}
 	if err := s.eng.RunContext(ctx, &s.res); err != nil {
+		return err
+	}
+	st.plc = st.plc.Reuse(len(s.res.Placement))
+	copy(st.plc, s.res.Placement)
+	s.ev.Slack(st.tr, lib, st.plc, st.net.Driver)
+	st.slack = s.ev.MinSlack
+	st.solved = true
+	return nil
+}
+
+// solveSession is solve over the net's incremental session: the round's
+// price vector lands as a penalty patch (dirtying only re-priced live
+// sites), repair masks have already been patched in by the caller, and
+// Resolve recomputes just the dirty vertex-to-root paths. Bit-identical to
+// solve on the same state — the session contract — so the allocator's
+// convergence trajectory is exactly the cold path's.
+func (s *solver) solveSession(ctx context.Context, st *netState, lib library.Library) error {
+	if err := st.sess.PatchPenalty(st.pen); err != nil {
+		return err
+	}
+	if err := st.sess.Resolve(ctx, &s.res); err != nil {
 		return err
 	}
 	st.plc = st.plc.Reuse(len(s.res.Placement))
@@ -251,7 +290,18 @@ func Solve(ctx context.Context, inst *Instance, lib library.Library, cfg Config)
 	// the oracle never places a buffer there — and a net that *needs* one
 	// (a polarity-constrained net with every inverter site blocked) fails
 	// fast with a typed infeasibility instead of chasing prices forever.
+	// Unless disabled, every net also gets an incremental ECO session
+	// (opened on the masked scratch tree, so the session's private clone
+	// carries the masks): rounds then patch prices and re-solve only the
+	// re-priced sites' root paths instead of re-running the whole net.
 	states := make([]netState, nnets)
+	defer func() {
+		for i := range states {
+			if states[i].sess != nil {
+				states[i].sess.Close()
+			}
+		}
+	}()
 	for i := range states {
 		st := &states[i]
 		net := &inst.Nets[i]
@@ -266,6 +316,18 @@ func Solve(ctx context.Context, inst *Instance, lib library.Library, cfg Config)
 			if caps[s] == 0 {
 				st.tr.Verts[v].BufferOK = false
 			}
+		}
+		if !cfg.NoSessions {
+			sess, err := core.NewSession(st.tr, lib, core.Options{
+				Driver:          net.Driver,
+				Prune:           cfg.Prune,
+				Backend:         cfg.Backend,
+				CheckInvariants: cfg.CheckInvariants,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("chip: net %d (%q): %w", i, net.Name, err)
+			}
+			st.sess = sess
 		}
 	}
 
@@ -332,7 +394,13 @@ func Solve(ctx context.Context, inst *Instance, lib library.Library, cfg Config)
 						continue
 					}
 					resolved.Add(1)
-					if err := sv.solve(ctx, st, lib, priced); err != nil {
+					var err error
+					if st.sess != nil {
+						err = sv.solveSession(ctx, st, lib)
+					} else {
+						err = sv.solve(ctx, st, lib, priced)
+					}
+					if err != nil {
 						errs[i] = err
 						if errors.Is(err, solvererr.ErrCanceled) {
 							return
@@ -475,19 +543,35 @@ func repair(ctx context.Context, states []netState, lib library.Library, caps []
 		}
 		// Withdraw this net's buffers, mask sites with no capacity left
 		// for it, and re-solve under the current prices (they still steer
-		// it toward uncontended sites among the unmasked ones).
+		// it toward uncontended sites among the unmasked ones). The
+		// session, when present, absorbs the masks through PatchBufferOK —
+		// which preserves each site's Allowed restriction — and the prices
+		// through solveSession's penalty patch; the scratch tree is kept in
+		// sync regardless so both solve paths see one instance.
 		priced := false
 		for _, vs := range st.sites {
 			if st.plc[vs.v] != delay.NoBuffer {
 				usage[vs.s]--
 			}
-			st.tr.Verts[vs.v].BufferOK = usage[vs.s] < caps[vs.s]
+			ok := usage[vs.s] < caps[vs.s]
+			st.tr.Verts[vs.v].BufferOK = ok
+			if st.sess != nil {
+				if perr := st.sess.PatchBufferOK(vs.v, ok); perr != nil {
+					return rec, fmt.Errorf("chip: repair: net %d (%q): %w", i, st.net.Name, perr)
+				}
+			}
 			if st.pen[vs.v] = prices[vs.s]; st.pen[vs.v] != 0 {
 				priced = true
 			}
 		}
 		rec.Resolved++
-		if err := sv.solve(ctx, st, lib, priced); err != nil {
+		var err error
+		if st.sess != nil {
+			err = sv.solveSession(ctx, st, lib)
+		} else {
+			err = sv.solve(ctx, st, lib, priced)
+		}
+		if err != nil {
 			if errors.Is(err, solvererr.ErrCanceled) {
 				return rec, &PartialError{
 					CompletedRounds: cfg.Rounds,

@@ -212,6 +212,47 @@ func TestChipZeroCapacityInfeasible(t *testing.T) {
 
 // TestChipRepairAfterTinyBudget: with a 1-round budget on a contended
 // instance the repair pass must still deliver zero overflow.
+// TestChipSessionsMatchCold is the allocator-level face of the session
+// bit-identity contract: the incremental path (per-net ECO sessions
+// absorbing price and mask patches) must reproduce the cold path
+// (from-scratch re-solves every round) exactly — every round record, every
+// slack, every placement — including through a forced repair pass.
+func TestChipSessionsMatchCold(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		inst *Instance
+		cfg  Config
+	}{
+		{"converges", contended(80, 3), Config{}},
+		{"repair", contended(120, 9), Config{Rounds: 1}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cold := tc.cfg
+			cold.NoSessions = true
+			a := solveOK(t, tc.inst, cold)
+			b := solveOK(t, tc.inst, tc.cfg)
+			if len(a.Rounds) != len(b.Rounds) {
+				t.Fatalf("round counts differ: cold %d, sessions %d", len(a.Rounds), len(b.Rounds))
+			}
+			for r := range a.Rounds {
+				if a.Rounds[r] != b.Rounds[r] {
+					t.Fatalf("round %d records differ:\ncold     %+v\nsessions %+v", r, a.Rounds[r], b.Rounds[r])
+				}
+			}
+			for i := range a.Slacks {
+				if a.Slacks[i] != b.Slacks[i] {
+					t.Fatalf("net %d slack differs: cold %.17g, sessions %.17g", i, a.Slacks[i], b.Slacks[i])
+				}
+				for v := range a.Placements[i] {
+					if a.Placements[i][v] != b.Placements[i][v] {
+						t.Fatalf("net %d placement differs at vertex %d", i, v)
+					}
+				}
+			}
+		})
+	}
+}
+
 func TestChipRepairAfterTinyBudget(t *testing.T) {
 	inst := contended(120, 9)
 	cfg := Config{Rounds: 1}

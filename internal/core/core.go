@@ -280,3 +280,25 @@ func (e *Engine) RunContext(ctx context.Context, res *Result) error {
 	}
 	return e.cur.runContext(ctx, res)
 }
+
+// ResolveRetained executes one run that checkpoints every vertex's
+// candidate frontier for incremental re-solving, recomputing only the
+// vertices marked dirty (or everything when full is set, rewinding the
+// arena first). It is the engine face of Session; see Session for the
+// dirty-closure and rebuild-scheduling contract. It returns the number of
+// vertices recomputed. Results are bit-identical to RunContext on the same
+// instance. Interleaving RunContext (which rewinds the arena) with retained
+// resolves invalidates the checkpoints; the next ResolveRetained must be
+// full.
+func (e *Engine) ResolveRetained(ctx context.Context, res *Result, dirty []bool, full bool) (int, error) {
+	if !e.ready {
+		return 0, errors.New("core: ResolveRetained called before a successful Reset")
+	}
+	return e.cur.resolveRetained(ctx, res, dirty, full)
+}
+
+// Decisions returns the number of reconstruction records currently in the
+// arena — the growth signal Session uses to schedule full rebuilds, since
+// retained delta resolves append decision records without reclaiming
+// superseded ones.
+func (e *Engine) Decisions() int { return e.arena.NumDecisions() }

@@ -15,6 +15,7 @@ import (
 type runner interface {
 	reset(t *tree.Tree, lib library.Library, opt Options, polar bool)
 	runContext(ctx context.Context, res *Result) error
+	resolveRetained(ctx context.Context, res *Result, dirty []bool, full bool) (int, error)
 	release()
 }
 
@@ -166,6 +167,120 @@ func (e *engine[L, A]) runContext(ctx context.Context, res *Result) error {
 	res.Slack = q - e.opt.Driver.R*c - e.opt.Driver.K
 	e.arena.Fill(dec, res.Placement)
 	return nil
+}
+
+// resolveRetained executes one insertion run that keeps every vertex's
+// final candidate pair in e.lists as a checkpoint instead of consuming it
+// into the arena, so a later call can recompute only the vertices marked in
+// dirty (which must be closed under "parent of a dirty vertex is dirty" —
+// the Session guarantees this by marking whole vertex-to-root paths).
+//
+// Where runContext wires and merges a child's list destructively, this pass
+// clones the child's checkpoint and consumes the clone, leaving the
+// checkpoint intact for the next resolve. The clone then undergoes exactly
+// the float operations the destructive path performs on the original, in
+// the same order, so every candidate value — and therefore slack, placement
+// and cost — is bit-identical to a cold run on the same instance (the ECO
+// differential suite enforces this on both backends).
+//
+// full forces a from-scratch pass: the arena is rewound (invalidating every
+// checkpoint and decision) and all vertices recompute. Delta passes append
+// decision records without reclaiming superseded ones, so the Session
+// schedules a full pass whenever the decision slab outgrows its
+// post-rebuild baseline.
+//
+// It returns the number of vertices recomputed. On error the checkpoint
+// state is unspecified; the caller must force a full pass before trusting
+// another resolve.
+func (e *engine[L, A]) resolveRetained(ctx context.Context, res *Result, dirty []bool, full bool) (int, error) {
+	var zero L
+	if full {
+		e.arena.Reset()
+		clear(e.lists)
+	}
+	e.stats = Stats{}
+	recomputed := 0
+
+	for vi, v := range e.t.PostOrder() {
+		if vi&solvererr.PollMask == 0 && ctx.Err() != nil {
+			return recomputed, solvererr.Canceled(ctx)
+		}
+		if !full && !dirty[v] {
+			continue
+		}
+		recomputed++
+		vert := &e.t.Verts[v]
+		old := e.lists[v]
+		if vert.Kind == tree.Sink {
+			var p pair[L]
+			s := 0
+			if vert.Pol == tree.Negative {
+				s = 1
+			}
+			p[s] = e.alloc.Sink(e.arena, vert.RAT, vert.Cap, v)
+			e.lists[v] = p
+			freeNil(old[0])
+			freeNil(old[1])
+			continue
+		}
+		var acc pair[L]
+		first := true
+		for _, c := range e.t.Children(v) {
+			cp := e.lists[c]
+			var lc pair[L]
+			for s := 0; s < 2; s++ {
+				if cp[s] != zero {
+					lc[s] = cp[s].Clone()
+				}
+			}
+			r, wc := e.t.Verts[c].EdgeR, e.t.Verts[c].EdgeC
+			for s := 0; s < 2; s++ {
+				if lc[s] != zero {
+					lc[s].AddWire(r, wc)
+				}
+			}
+			if first {
+				acc = lc
+				first = false
+			} else {
+				for s := 0; s < 2; s++ {
+					merged := mergeNil(acc[s], lc[s])
+					freeNil(acc[s])
+					freeNil(lc[s])
+					acc[s] = merged
+				}
+			}
+		}
+		if acc[0] == zero && acc[1] == zero {
+			return recomputed, solvererr.Infeasible("core: subtree at vertex %d has no polarity-feasible candidates", v)
+		}
+		if vert.BufferOK {
+			e.addBuffer(v, &acc, vert.Allowed)
+		}
+		if err := e.check(&acc); err != nil {
+			return recomputed, err
+		}
+		if n := lenNil(acc[0]) + lenNil(acc[1]); n > e.stats.MaxListLen {
+			e.stats.MaxListLen = n
+		}
+		freeNil(old[0])
+		freeNil(old[1])
+		e.lists[v] = acc
+	}
+
+	root := e.lists[0][0]
+	if root == zero || root.Len() == 0 {
+		return recomputed, solvererr.Infeasible("core: no polarity-feasible solution at the source")
+	}
+	e.stats.Decisions = e.arena.NumDecisions()
+
+	res.Placement = res.Placement.Reuse(e.t.Len())
+	res.Candidates = root.Len()
+	res.Stats = e.stats
+	q, c, dec, _ := root.Best(e.opt.Driver.R)
+	res.Slack = q - e.opt.Driver.R*c - e.opt.Driver.K
+	e.arena.Fill(dec, res.Placement)
+	return recomputed, nil
 }
 
 // addBuffer is the paper's O(k + b) operation (plus a second parity in

@@ -59,6 +59,31 @@ func BackendRegimes(industrial *tree.Tree, scale int) []BackendRegime {
 	}
 }
 
+// ECOBenchCase is one workload of the incremental ECO-session benchmark
+// series, shared by the root BenchmarkECOResolve and repro -bench-json so
+// both trajectories measure the same regimes under the same names. Each
+// case is benchmarked twice per backend — mode=cold (a full warm-engine
+// re-solve, the pre-session baseline) and mode=delta (a session resolve
+// after one sink patch) — so the eco/ trajectory records the incremental
+// speedup directly. The trees are deliberately bushy: a single-sink delta
+// dirties one leaf-to-root path, a thin slice of a balanced tree, which is
+// exactly the regime ECO loops live in (a 2-pin line would dirty
+// everything and measure nothing).
+type ECOBenchCase struct {
+	Name string
+	Tree *tree.Tree
+	Lib  library.Library
+}
+
+// ECOBenchCases returns the canonical ECO-session benchmark regimes: a
+// deep ternary clock-tree-like net and a shallow wide one.
+func ECOBenchCases() []ECOBenchCase {
+	return []ECOBenchCase{
+		{"bushy", netgen.Balanced(3, 6, 400, 8, 1200, netgen.PaperWire()), library.Generate(16)},
+		{"wide", netgen.Balanced(4, 5, 400, 8, 1200, netgen.PaperWire()), library.Generate(16)},
+	}
+}
+
 // YieldBenchCase is one workload of the yield-sweep benchmark series,
 // shared by the root BenchmarkYieldSweep and repro -bench-json so both
 // trajectories measure the same sweeps under the same names.
@@ -214,6 +239,60 @@ func BenchJSON(cfg Config, w io.Writer) error {
 						}
 					}
 				}))
+		}
+	}
+
+	// ECO-session series: full warm re-solve vs single-sink-delta session
+	// resolve on the same net — the incremental speedup trajectory. The
+	// patched RAT cycles so every delta resolve does real work.
+	for _, ec := range ECOBenchCases() {
+		sink := ec.Tree.Sinks()[0]
+		for _, backend := range []core.Backend{core.BackendList, core.BackendSoA} {
+			bopt := core.Options{Driver: Driver, Backend: backend}
+			eng := core.NewEngine()
+			if err := eng.Reset(ec.Tree, ec.Lib, bopt); err != nil {
+				return fmt.Errorf("bench-json: %w", err)
+			}
+			res := &core.Result{}
+			if err := eng.Run(res); err != nil { // warm the arena slabs
+				return fmt.Errorf("bench-json: %w", err)
+			}
+			add(fmt.Sprintf("eco/regime=%s/backend=%s/mode=cold", ec.Name, backend), 1,
+				testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := eng.Run(res); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}))
+
+			sess, err := core.NewSession(ec.Tree, ec.Lib, bopt)
+			if err != nil {
+				return fmt.Errorf("bench-json: %w", err)
+			}
+			ctx := context.Background()
+			for i := 0; i < 8; i++ { // warm: first resolve is full, later ones delta
+				if err := sess.PatchSink(sink, 1200+float64(i%7), 8); err != nil {
+					return fmt.Errorf("bench-json: %w", err)
+				}
+				if err := sess.Resolve(ctx, res); err != nil {
+					return fmt.Errorf("bench-json: %w", err)
+				}
+			}
+			add(fmt.Sprintf("eco/regime=%s/backend=%s/mode=delta", ec.Name, backend), 1,
+				testing.Benchmark(func(b *testing.B) {
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if err := sess.PatchSink(sink, 1200+float64(i%7), 8); err != nil {
+							b.Fatal(err)
+						}
+						if err := sess.Resolve(ctx, res); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}))
+			sess.Close()
 		}
 	}
 

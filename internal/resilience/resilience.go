@@ -110,6 +110,23 @@ func (e *ShedError) Error() string {
 	return fmt.Sprintf("overloaded: %s (retry after %s)", e.Reason, e.RetryAfter.Round(time.Millisecond))
 }
 
+// CanceledError reports a caller whose context fired while it was queued
+// for admission. Distinct from load shedding — the server was not refusing
+// work, the client stopped waiting — so it gets its own counter and is
+// excluded from the admission-wait average. Unwrap exposes the context
+// sentinel, keeping errors.Is(err, context.Canceled/DeadlineExceeded) — and
+// the server's 504 mapping built on it — intact.
+type CanceledError struct {
+	// Err is the context's error (context.Canceled or DeadlineExceeded).
+	Err error
+}
+
+func (e *CanceledError) Error() string {
+	return fmt.Sprintf("admission wait canceled: %v", e.Err)
+}
+
+func (e *CanceledError) Unwrap() error { return e.Err }
+
 // Config parameterizes a Controller.
 type Config struct {
 	// Slots is the number of concurrently admitted requests (required > 0).
@@ -130,8 +147,14 @@ type Counters struct {
 	ShedQueueFull    int64
 	ShedDeadline     int64
 	ShedQueueTimeout int64
-	AdmissionWaitNS  int64
-	Admitted         int64
+	// AdmissionWaitNS sums the queue time of requests that ran the wait to
+	// its outcome (admitted or shed). Canceled waits are excluded — a
+	// client giving up early would drag the average toward its own
+	// impatience, not the server's backlog.
+	AdmissionWaitNS int64
+	Admitted        int64
+	// CanceledWhileQueued counts waiters whose context fired in the queue.
+	CanceledWhileQueued int64
 }
 
 // Total returns the total shed count across reasons.
@@ -151,6 +174,7 @@ type Controller struct {
 	shedFull     atomic.Int64
 	shedDeadline atomic.Int64
 	shedTimeout  atomic.Int64
+	canceled     atomic.Int64
 }
 
 // NewController builds a Controller. Slots must be positive.
@@ -169,9 +193,9 @@ func NewController(cfg Config) *Controller {
 }
 
 // Acquire obtains one slot, queueing within the configured bounds. It
-// returns nil when admitted, a *ShedError when the request is shed, or
-// ctx.Err() when the caller's context fires while waiting. Every nil
-// return must be paired with Release(1).
+// returns nil when admitted, a *ShedError when the request is shed, or a
+// *CanceledError (unwrapping to ctx.Err()) when the caller's context fires
+// while waiting. Every nil return must be paired with Release(1).
 func (c *Controller) Acquire(ctx context.Context) error {
 	// Uncontended fast path: no queueing, no deadline math.
 	select {
@@ -200,9 +224,12 @@ func (c *Controller) Acquire(ctx context.Context) error {
 		}
 	}
 	start := time.Now()
+	canceled := false
 	defer func() {
 		c.queued.Add(-1)
-		c.waitNS.Add(int64(time.Since(start)))
+		if !canceled {
+			c.waitNS.Add(int64(time.Since(start)))
+		}
 	}()
 	var timeout <-chan time.Time
 	if c.cfg.QueueTimeout > 0 {
@@ -215,7 +242,9 @@ func (c *Controller) Acquire(ctx context.Context) error {
 		c.admitted.Add(1)
 		return nil
 	case <-ctx.Done():
-		return ctx.Err()
+		canceled = true
+		c.canceled.Add(1)
+		return &CanceledError{Err: ctx.Err()}
 	case <-timeout:
 		c.shedTimeout.Add(1)
 		return &ShedError{Reason: ShedQueueTimeout, RetryAfter: c.RetryAfter()}
@@ -271,10 +300,11 @@ func (c *Controller) RetryAfter() time.Duration {
 // Counters returns a snapshot of the controller's statistics.
 func (c *Controller) Counters() Counters {
 	return Counters{
-		ShedQueueFull:    c.shedFull.Load(),
-		ShedDeadline:     c.shedDeadline.Load(),
-		ShedQueueTimeout: c.shedTimeout.Load(),
-		AdmissionWaitNS:  c.waitNS.Load(),
-		Admitted:         c.admitted.Load(),
+		ShedQueueFull:       c.shedFull.Load(),
+		ShedDeadline:        c.shedDeadline.Load(),
+		ShedQueueTimeout:    c.shedTimeout.Load(),
+		AdmissionWaitNS:     c.waitNS.Load(),
+		Admitted:            c.admitted.Load(),
+		CanceledWhileQueued: c.canceled.Load(),
 	}
 }

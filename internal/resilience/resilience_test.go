@@ -112,8 +112,11 @@ func TestShedQueueTimeout(t *testing.T) {
 	}
 }
 
-// TestAcquireCtxCanceled: a waiter whose context fires gets ctx.Err(), not
-// a ShedError, and frees its queue position.
+// TestAcquireCtxCanceled: a waiter whose context fires gets a typed
+// *CanceledError that still unwraps to the context sentinel (the server's
+// 504 mapping relies on errors.Is), frees its queue position, bumps the
+// canceled counter, and leaves the admission-wait average untouched — a
+// client giving up is not a measurement of the server's backlog.
 func TestAcquireCtxCanceled(t *testing.T) {
 	c := NewController(Config{Slots: 1, MaxQueue: 4})
 	if err := c.Acquire(context.Background()); err != nil {
@@ -125,11 +128,27 @@ func TestAcquireCtxCanceled(t *testing.T) {
 	go func() { done <- c.Acquire(ctx) }()
 	waitForDepth(t, c, 1)
 	cancel()
-	if err := <-done; !errors.Is(err, context.Canceled) {
-		t.Fatalf("err = %v, want context.Canceled", err)
+	err := <-done
+	var cerr *CanceledError
+	if !errors.As(err, &cerr) {
+		t.Fatalf("err = %v, want a *CanceledError", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, must unwrap to context.Canceled", err)
+	}
+	var shed *ShedError
+	if errors.As(err, &shed) {
+		t.Fatalf("err = %v must not read as load shedding", err)
 	}
 	if c.QueueDepth() != 0 {
 		t.Fatalf("queue depth %d after cancel, want 0", c.QueueDepth())
+	}
+	got := c.Counters()
+	if got.CanceledWhileQueued != 1 {
+		t.Fatalf("CanceledWhileQueued = %d, want 1", got.CanceledWhileQueued)
+	}
+	if got.AdmissionWaitNS != 0 {
+		t.Fatalf("AdmissionWaitNS = %d, a canceled wait must not count as an ordinary one", got.AdmissionWaitNS)
 	}
 }
 

@@ -141,6 +141,44 @@ func TestShedQueueFull(t *testing.T) {
 	}
 }
 
+// TestCanceledWhileQueuedMaps504: a request whose own deadline fires while
+// it waits for admission is a 504 (the deadline verdict), not a 429 — the
+// server never refused the work — and is counted on admission_canceled
+// rather than folded into the admission-wait average.
+func TestCanceledWhileQueuedMaps504(t *testing.T) {
+	s := New(Config{MaxConcurrent: 1, MaxQueue: 4})
+	h := s.Handler()
+	release := chaoskit.HoldGate()
+	defer release()
+	lib := readTestdata(t, "lib8.buf")
+	blocked := gatedSolve(t, h, solveRequest{
+		Net: readTestdata(t, "line.net"), Library: lib,
+		solveOptions: solveOptions{Algorithm: chaoskit.AlgoGate}})
+	waitForMetric(t, h, "in_flight_runs", 1)
+
+	// No EWMA observation yet, so deadline shedding stays out of the way:
+	// the request queues and its 5ms budget expires there.
+	rec := post(t, h, "/v1/solve", solveRequest{
+		Net: readTestdata(t, "random12.net"), Library: lib,
+		solveOptions: solveOptions{TimeoutMs: 5}})
+	if rec.Code != http.StatusGatewayTimeout {
+		t.Fatalf("canceled-in-queue solve = %d, want 504: %s", rec.Code, rec.Body.String())
+	}
+	if got := metric(t, h, "admission_canceled"); got != 1 {
+		t.Fatalf("admission_canceled = %d, want 1", got)
+	}
+	if got := metric(t, h, "shed_total"); got != 0 {
+		t.Fatalf("shed_total = %d, want 0 — cancellation is not shedding", got)
+	}
+	if got := metric(t, h, "admission_wait_ns"); got != 0 {
+		t.Fatalf("admission_wait_ns = %d, want 0 — canceled waits must not skew the average", got)
+	}
+	release()
+	if code := <-blocked; code != http.StatusOK {
+		t.Fatalf("gated solve finished with %d, want 200", code)
+	}
+}
+
 // TestShedDeadline: once the EWMA knows how long solves take, a request
 // whose remaining deadline cannot cover it is rejected without queueing.
 func TestShedDeadline(t *testing.T) {

@@ -5,14 +5,16 @@
 //
 // Endpoints:
 //
-//	POST /v1/solve      solve one net, JSON in / JSON out
-//	POST /v1/batch      solve many nets, JSON in / NDJSON stream out
-//	POST /v1/yield      Monte Carlo / multi-corner yield analysis
-//	POST /v1/chip       multi-net chip solve, JSON in / NDJSON rounds out
-//	GET  /v1/algorithms registered algorithms with descriptions
-//	GET  /healthz       liveness probe
-//	GET  /readyz        readiness probe (503 while draining)
-//	GET  /metrics       expvar counters as JSON
+//	POST   /v1/solve          solve one net, JSON in / JSON out
+//	POST   /v1/batch          solve many nets, JSON in / NDJSON stream out
+//	POST   /v1/yield          Monte Carlo / multi-corner yield analysis
+//	POST   /v1/chip           multi-net chip solve, JSON in / NDJSON rounds out
+//	PUT    /v1/sessions/{id}  incremental ECO session: patch + re-solve one net
+//	DELETE /v1/sessions/{id}  close an ECO session
+//	GET    /v1/algorithms     registered algorithms with descriptions
+//	GET    /healthz           liveness probe
+//	GET    /readyz            readiness probe (503 while draining)
+//	GET    /metrics           expvar counters as JSON
 //
 // Concurrency model: a deadline-aware admission controller
 // (internal/resilience) bounds the engine runs in flight across all
@@ -51,6 +53,7 @@ import (
 	"runtime/debug"
 	"slices"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -93,6 +96,13 @@ type Config struct {
 	// MaxChipNets bounds the nets accepted by one /v1/chip instance
 	// (0 = 10000).
 	MaxChipNets int
+	// MaxSessions bounds concurrently retained ECO sessions (0 = 256,
+	// negative = the sessions endpoint is disabled). When the table is
+	// full, creating a session evicts the least-recently-used one.
+	MaxSessions int
+	// SessionTTL is a session's idle lifetime; sessions untouched for
+	// longer are evicted opportunistically (0 = 10 min).
+	SessionTTL time.Duration
 }
 
 func (c *Config) fill() {
@@ -131,6 +141,12 @@ func (c *Config) fill() {
 	}
 	if c.MaxChipNets <= 0 {
 		c.MaxChipNets = 10000
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 256
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = 10 * time.Minute
 	}
 }
 
@@ -229,6 +245,23 @@ type Server struct {
 	chipRounds         *expvar.Int
 	chipDeadlineAborts *expvar.Int
 	chipAbortedRounds  *expvar.Int
+
+	// ECO-session state and counters: the id-keyed table of retained
+	// sessions (LRU + TTL evicted), and the per-request instrumentation —
+	// sessionCacheHits counts resolves answered from the LRU cache without
+	// touching the engine, sessionRebuilds/sessionRecomputed accumulate
+	// each resolve's incremental-work story.
+	sessMu   sync.Mutex
+	sessions map[string]*sessionEntry
+
+	sessionReqs      *expvar.Int
+	sessionsCreated  *expvar.Int
+	sessionsEvicted  *expvar.Int
+	sessionPatches   *expvar.Int
+	sessionResolves  *expvar.Int
+	sessionCacheHits *expvar.Int
+	sessionRebuilds  *expvar.Int
+	sessionRecomp    *expvar.Int
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -271,6 +304,16 @@ func New(cfg Config) *Server {
 		chipRounds:         new(expvar.Int),
 		chipDeadlineAborts: new(expvar.Int),
 		chipAbortedRounds:  new(expvar.Int),
+
+		sessions:         make(map[string]*sessionEntry),
+		sessionReqs:      new(expvar.Int),
+		sessionsCreated:  new(expvar.Int),
+		sessionsEvicted:  new(expvar.Int),
+		sessionPatches:   new(expvar.Int),
+		sessionResolves:  new(expvar.Int),
+		sessionCacheHits: new(expvar.Int),
+		sessionRebuilds:  new(expvar.Int),
+		sessionRecomp:    new(expvar.Int),
 	}
 	s.metrics.Set("solve_requests", s.solveReqs)
 	s.metrics.Set("batch_requests", s.batchReqs)
@@ -291,6 +334,19 @@ func New(cfg Config) *Server {
 	s.metrics.Set("chip_rounds", s.chipRounds)
 	s.metrics.Set("chip_deadline_aborts", s.chipDeadlineAborts)
 	s.metrics.Set("chip_aborted_rounds", s.chipAbortedRounds)
+	s.metrics.Set("session_requests", s.sessionReqs)
+	s.metrics.Set("sessions_created", s.sessionsCreated)
+	s.metrics.Set("sessions_evicted", s.sessionsEvicted)
+	s.metrics.Set("session_patches", s.sessionPatches)
+	s.metrics.Set("session_resolves", s.sessionResolves)
+	s.metrics.Set("session_cache_hits", s.sessionCacheHits)
+	s.metrics.Set("session_full_rebuilds", s.sessionRebuilds)
+	s.metrics.Set("session_recomputed_vertices", s.sessionRecomp)
+	s.metrics.Set("sessions_active", expvar.Func(func() any {
+		s.sessMu.Lock()
+		defer s.sessMu.Unlock()
+		return len(s.sessions)
+	}))
 	s.metrics.Set("cache_hits", expvar.Func(func() any { return s.cache.Stats().Hits }))
 	s.metrics.Set("cache_misses", expvar.Func(func() any { return s.cache.Stats().Misses }))
 	s.metrics.Set("cache_evictions", expvar.Func(func() any { return s.cache.Stats().Evictions }))
@@ -303,6 +359,7 @@ func New(cfg Config) *Server {
 	s.metrics.Set("shed_queue_full", expvar.Func(func() any { return s.adm.Counters().ShedQueueFull }))
 	s.metrics.Set("shed_deadline", expvar.Func(func() any { return s.adm.Counters().ShedDeadline }))
 	s.metrics.Set("shed_queue_timeout", expvar.Func(func() any { return s.adm.Counters().ShedQueueTimeout }))
+	s.metrics.Set("admission_canceled", expvar.Func(func() any { return s.adm.Counters().CanceledWhileQueued }))
 	s.metrics.Set("solve_ewma_ms", expvar.Func(func() any {
 		return float64(s.adm.Estimate()) / float64(time.Millisecond)
 	}))
@@ -325,6 +382,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/yield", s.handleYield)
 	mux.HandleFunc("POST /v1/chip", s.handleChip)
+	mux.HandleFunc("PUT /v1/sessions/{id}", s.handleSessionPut)
+	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)

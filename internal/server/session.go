@@ -1,0 +1,367 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"net/http"
+	"sync"
+	"time"
+
+	"bufferkit"
+	"bufferkit/internal/server/cache"
+)
+
+// The ECO-session surface: PUT /v1/sessions/{id} applies typed patches to a
+// server-retained incremental session and re-solves only the dirty
+// vertex-to-root paths, so a synthesis loop iterating on one net pays for
+// its deltas instead of whole re-solves. The session table is LRU + TTL
+// evicted; a client whose session expired gets a 404 and recreates it by
+// resending net and library under the same id (the client package does this
+// transparently). Results are cache-coherent with /v1/solve: the patched
+// tree is serialized back to canonical .net text and keyed into the same
+// LRU, so a session resolve can be answered by an earlier plain solve of
+// the identical net — and vice versa.
+
+// sessionRequest is the PUT /v1/sessions/{id} payload. Net and Library are
+// required when the id is new (they define the session) and optional
+// afterwards; when resent they must match the originals byte for byte (409
+// otherwise), which makes retried PUTs safe.
+type sessionRequest struct {
+	Net     string         `json:"net,omitempty"`
+	Library string         `json:"library,omitempty"`
+	Patches []sessionPatch `json:"patches,omitempty"`
+	solveOptions
+}
+
+// sessionPatch is one typed delta. Kind selects the shape: "sink" sets a
+// sink's rat and cap, "edge" sets the res and cap of the wire into the
+// vertex, "buffer" sets the vertex's buffer-position flag (and optionally
+// the allowed library type indices, as in the .net text format). All values
+// are absolute, not increments — retransmitting a patch is idempotent.
+// Vertices are named as in net files and placements: the file name when
+// set, otherwise "v<i>" ("src" for the source).
+type sessionPatch struct {
+	Kind   string `json:"kind"`
+	Vertex string `json:"vertex"`
+	// RAT and Cap parameterize "sink" patches; Res and Cap "edge" patches.
+	RAT *float64 `json:"rat,omitempty"`
+	Cap *float64 `json:"cap,omitempty"`
+	Res *float64 `json:"res,omitempty"`
+	// OK and Allowed parameterize "buffer" patches.
+	OK      *bool `json:"ok,omitempty"`
+	Allowed []int `json:"allowed,omitempty"`
+}
+
+// sessionInfo is the session block of a PUT response.
+type sessionInfo struct {
+	ID string `json:"id"`
+	// Created marks the PUT that opened the session.
+	Created bool `json:"created,omitempty"`
+	// Resolves, FullRebuilds and Recomputed expose the session's
+	// incremental-work story: Recomputed is the number of vertices the last
+	// resolve actually recomputed (0 when the reply came from the cache).
+	Resolves     int `json:"resolves"`
+	FullRebuilds int `json:"full_rebuilds"`
+	Recomputed   int `json:"recomputed"`
+}
+
+// sessionResponse is the PUT /v1/sessions/{id} reply: a solve response plus
+// the session block.
+type sessionResponse struct {
+	solveResponse
+	Session sessionInfo `json:"session"`
+}
+
+// sessionEntry is one retained session. mu serializes use of the session
+// (sessions are single-threaded by contract); lastUsed is guarded by the
+// server's sessMu, not mu, so eviction scans never block on a resolve.
+type sessionEntry struct {
+	id      string
+	netText string // original .net payload, for idempotent-create matching
+	libText string
+	lib     bufferkit.Library
+	name    string           // net name, for response building
+	driver  bufferkit.Driver // net driver, for cache-key serialization
+	names   map[string]int   // vertex name → index, for patch addressing
+	tree    *bufferkit.Tree  // the session's patched tree (read-only view)
+	opts    solveOptions     // pinned at create; later requests must not conflict
+	optsKey string           // opts.cacheOptions(), pinned at create
+
+	mu     sync.Mutex
+	solver *bufferkit.Solver
+	sess   *bufferkit.Session
+	last   bufferkit.SessionStats // stats at last observation, for counter deltas
+	closed bool
+
+	lastUsed time.Time // guarded by Server.sessMu
+}
+
+// handleSessionPut creates/patches/re-solves one session.
+func (s *Server) handleSessionPut(w http.ResponseWriter, r *http.Request) {
+	s.sessionReqs.Add(1)
+	if s.cfg.MaxSessions < 0 {
+		s.writeError(w, &httpError{status: http.StatusNotFound, msg: "sessions are disabled on this server"})
+		return
+	}
+	id := r.PathValue("id")
+	if id == "" || len(id) > 128 {
+		s.writeError(w, badRequestf("id", "session id must be 1–128 characters"))
+		return
+	}
+	var req sessionRequest
+	if err := s.decodeBody(w, r, &req); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	e, created, err := s.getOrCreateSession(id, &req)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		// Evicted between table lookup and lock; the client's retry recreates.
+		s.writeError(w, &httpError{status: http.StatusNotFound, field: "id",
+			msg: "session " + id + " was evicted; retry with net and library to recreate it"})
+		return
+	}
+
+	if len(req.Patches) > 0 {
+		deltas, err := e.buildDeltas(req.Patches)
+		if err != nil {
+			s.writeError(w, err)
+			return
+		}
+		if e.sess.Patch(deltas...).Err() != nil {
+			// Resolve returns — and clears — the sticky patch error without
+			// an engine run; the rejected batch never touched the session.
+			_, err := e.sess.Resolve(r.Context())
+			s.writeError(w, err)
+			return
+		}
+		s.sessionPatches.Add(int64(len(req.Patches)))
+	}
+
+	// Cache coherence: the patched tree serializes back to canonical .net
+	// text, keyed exactly like /v1/solve — so identical patched nets share
+	// results across both endpoints, in both directions.
+	var netBuf bytes.Buffer
+	if err := bufferkit.WriteNet(&netBuf, &bufferkit.Net{Name: e.name, Tree: e.tree, Driver: e.driver}); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	key := cache.NewKey(netBuf.Bytes(), []byte(e.libText), e.optsKey)
+	if v, ok := s.cache.Get(key); ok {
+		s.sessionCacheHits.Add(1)
+		resp := *v.(*solveResponse) // copy: cached entries are immutable
+		resp.Cached = true
+		writeJSON(w, http.StatusOK, &sessionResponse{solveResponse: resp, Session: e.info(s, id, created)})
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout(e.opts))
+	defer cancel()
+	if err := s.adm.Acquire(ctx); err != nil {
+		s.writeError(w, s.asCanceled(err))
+		return
+	}
+	defer s.adm.Release(1)
+	s.inFlightRuns.Add(1)
+	s.engineRuns.Add(1)
+	s.sessionResolves.Add(1)
+	start := time.Now()
+	res, err := e.sess.Resolve(ctx)
+	elapsed := time.Since(start)
+	s.inFlightRuns.Add(-1)
+	s.adm.Observe(elapsed)
+	s.solveLatency.observe(elapsed)
+	info := e.info(s, id, created)
+	if err != nil {
+		s.writeError(w, s.asCanceled(err))
+		return
+	}
+	resp := buildResponse(&bufferkit.Net{Name: e.name, Tree: e.tree, Driver: e.driver},
+		e.lib, e.solver.Algorithm(), res, elapsed)
+	s.cache.Put(key, resp)
+	s.cacheStores.Add(1)
+	writeJSON(w, http.StatusOK, &sessionResponse{solveResponse: *resp, Session: info})
+}
+
+// handleSessionDelete closes and forgets a session.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	s.sessionReqs.Add(1)
+	id := r.PathValue("id")
+	s.sessMu.Lock()
+	e, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.sessMu.Unlock()
+	if !ok {
+		s.writeError(w, &httpError{status: http.StatusNotFound, field: "id", msg: "unknown session " + id})
+		return
+	}
+	e.close()
+	writeJSON(w, http.StatusOK, map[string]any{"closed": true, "id": id})
+}
+
+// getOrCreateSession returns the table entry for id, creating it (and
+// evicting expired or least-recently-used sessions) when the request
+// carries net and library.
+func (s *Server) getOrCreateSession(id string, req *sessionRequest) (*sessionEntry, bool, error) {
+	now := time.Now()
+	s.sessMu.Lock()
+	defer s.sessMu.Unlock()
+	s.evictExpiredLocked(now)
+	if e, ok := s.sessions[id]; ok {
+		if req.Net != "" && req.Net != e.netText {
+			return nil, false, &httpError{status: http.StatusConflict, field: "net",
+				msg: "session " + id + " exists with a different net; DELETE it or use a new id"}
+		}
+		if req.Library != "" && req.Library != e.libText {
+			return nil, false, &httpError{status: http.StatusConflict, field: "library",
+				msg: "session " + id + " exists with a different library; DELETE it or use a new id"}
+		}
+		if opts := req.solveOptions.cacheOptions(); opts != e.optsKey {
+			return nil, false, &httpError{status: http.StatusConflict, field: "algorithm",
+				msg: "session " + id + " exists with different solve options; DELETE it or use a new id"}
+		}
+		e.lastUsed = now
+		return e, false, nil
+	}
+	if req.Net == "" || req.Library == "" {
+		return nil, false, &httpError{status: http.StatusNotFound, field: "id",
+			msg: "unknown or expired session " + id + "; include net and library to create it"}
+	}
+	net, lib, err := parsePayload(req.Net, req.Library)
+	if err != nil {
+		return nil, false, err
+	}
+	solver, err := req.newSolver(lib, bufferkit.WithDriver(net.Driver))
+	if err != nil {
+		return nil, false, err
+	}
+	sess, err := solver.NewSession(net.Tree)
+	if err != nil {
+		solver.Close()
+		return nil, false, err
+	}
+	names := make(map[string]int, net.Tree.Len())
+	for v := range net.Tree.Verts {
+		names[vertexName(net.Tree, v)] = v
+	}
+	e := &sessionEntry{
+		id:      id,
+		netText: req.Net,
+		libText: req.Library,
+		lib:     lib,
+		name:    net.Name,
+		driver:  net.Driver,
+		names:   names,
+		tree:    sess.Tree(),
+		opts:    req.solveOptions,
+		optsKey: req.solveOptions.cacheOptions(),
+		solver:  solver,
+		sess:    sess,
+	}
+	for len(s.sessions) >= s.cfg.MaxSessions {
+		s.evictOldestLocked()
+	}
+	s.sessions[id] = e
+	e.lastUsed = now
+	s.sessionsCreated.Add(1)
+	return e, true, nil
+}
+
+// evictExpiredLocked drops every session idle past the TTL. Callers hold
+// sessMu.
+func (s *Server) evictExpiredLocked(now time.Time) {
+	for id, e := range s.sessions {
+		if now.Sub(e.lastUsed) > s.cfg.SessionTTL {
+			delete(s.sessions, id)
+			s.sessionsEvicted.Add(1)
+			go e.close()
+		}
+	}
+}
+
+// evictOldestLocked drops the least-recently-used session. Callers hold
+// sessMu and guarantee the table is non-empty.
+func (s *Server) evictOldestLocked() {
+	var oldest *sessionEntry
+	var oid string
+	for id, e := range s.sessions {
+		if oldest == nil || e.lastUsed.Before(oldest.lastUsed) {
+			oldest, oid = e, id
+		}
+	}
+	delete(s.sessions, oid)
+	s.sessionsEvicted.Add(1)
+	go oldest.close() // may wait on an in-flight resolve; don't hold sessMu for it
+}
+
+// close releases the entry's engine state, waiting out any in-flight use.
+func (e *sessionEntry) close() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return
+	}
+	e.closed = true
+	e.sess.Close()
+	e.solver.Close()
+}
+
+// info snapshots the session block for a response and feeds the counter
+// deltas since the last observation into the server-wide rebuild/recompute
+// totals. Callers hold e.mu.
+func (e *sessionEntry) info(s *Server, id string, created bool) sessionInfo {
+	st := e.sess.Stats()
+	recomputed := 0
+	if st.Resolves > e.last.Resolves {
+		recomputed = st.LastRecomputed
+		s.sessionRecomp.Add(int64(recomputed))
+		s.sessionRebuilds.Add(int64(st.FullRebuilds - e.last.FullRebuilds))
+	}
+	e.last = st
+	return sessionInfo{
+		ID:           id,
+		Created:      created,
+		Resolves:     st.Resolves,
+		FullRebuilds: st.FullRebuilds,
+		Recomputed:   recomputed,
+	}
+}
+
+// buildDeltas converts wire patches into typed session deltas, resolving
+// vertex names against the session's tree.
+func (e *sessionEntry) buildDeltas(patches []sessionPatch) ([]bufferkit.Delta, error) {
+	out := make([]bufferkit.Delta, 0, len(patches))
+	for i, p := range patches {
+		v, ok := e.names[p.Vertex]
+		if !ok {
+			return nil, badRequestf("patches", "patch %d: unknown vertex %q", i, p.Vertex)
+		}
+		switch p.Kind {
+		case "sink":
+			if p.RAT == nil || p.Cap == nil {
+				return nil, badRequestf("patches", "patch %d: sink patch needs rat and cap", i)
+			}
+			out = append(out, bufferkit.SinkDelta{Vertex: v, RAT: *p.RAT, Cap: *p.Cap})
+		case "edge":
+			if p.Res == nil || p.Cap == nil {
+				return nil, badRequestf("patches", "patch %d: edge patch needs res and cap", i)
+			}
+			out = append(out, bufferkit.EdgeDelta{Vertex: v, R: *p.Res, C: *p.Cap})
+		case "buffer":
+			if p.OK == nil {
+				return nil, badRequestf("patches", "patch %d: buffer patch needs ok", i)
+			}
+			out = append(out, bufferkit.BufferDelta{Vertex: v, OK: *p.OK, Allowed: p.Allowed})
+		default:
+			return nil, badRequestf("patches", "patch %d: unknown kind %q (sink, edge or buffer)", i, p.Kind)
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,353 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"bufferkit"
+	"bufferkit/internal/netgen"
+)
+
+// request is post with an explicit method, for the PUT/DELETE session routes.
+func request(t testing.TB, h http.Handler, method, path string, body any) *httptest.ResponseRecorder {
+	t.Helper()
+	var rd *bytes.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rd = bytes.NewReader(b)
+	} else {
+		rd = bytes.NewReader(nil)
+	}
+	req := httptest.NewRequest(method, path, rd)
+	req.Header.Set("Content-Type", "application/json")
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	return rec
+}
+
+// sessionFixture builds a bushy balanced net (so a single-sink patch dirties
+// far fewer vertices than the tree holds) plus its canonical payload text.
+func sessionFixture(t testing.TB) (*bufferkit.Tree, string, string) {
+	t.Helper()
+	tr := netgen.Balanced(2, 4, 400, 3, 900, netgen.PaperWire())
+	return tr, netText(t, tr, "eco", bufferkit.Driver{R: 0.2, K: 15}), readTestdata(t, "lib8.buf")
+}
+
+// coldSlack runs a plain solver on the tree for a ground-truth slack.
+func coldSlack(t testing.TB, tr *bufferkit.Tree, libText string) float64 {
+	t.Helper()
+	lib, err := bufferkit.ParseLibrary(strings.NewReader(libText))
+	if err != nil {
+		t.Fatal(err)
+	}
+	solver, err := bufferkit.NewSolver(bufferkit.WithLibrary(lib), bufferkit.WithDriver(bufferkit.Driver{R: 0.2, K: 15}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solver.Close()
+	res, err := solver.Run(context.Background(), tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Slack
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	tr, net, lib := sessionFixture(t)
+	h := New(Config{}).Handler()
+
+	// The creating PUT resolves the whole tree once.
+	rec := request(t, h, "PUT", "/v1/sessions/eco1", sessionRequest{Net: net, Library: lib})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	var created sessionResponse
+	decodeInto(t, rec, &created)
+	if !created.Session.Created || created.Session.ID != "eco1" {
+		t.Fatalf("session block = %+v", created.Session)
+	}
+	if created.Session.Resolves != 1 || created.Session.FullRebuilds != 1 {
+		t.Fatalf("first resolve counters = %+v", created.Session)
+	}
+	if created.Session.Recomputed != tr.Len() {
+		t.Fatalf("first resolve recomputed %d vertices, want all %d", created.Session.Recomputed, tr.Len())
+	}
+	if got, want := created.Slack, coldSlack(t, tr, lib); got != want {
+		t.Fatalf("session slack %v != cold slack %v", got, want)
+	}
+
+	// A single-sink patch recomputes only the sink-to-root path — strictly
+	// fewer vertices than the tree holds on this bushy topology — and the
+	// result stays bit-identical to a cold solve of the patched net.
+	sink := tr.Sinks()[0]
+	patched := tr.Clone()
+	patched.Verts[sink].RAT = 512.5
+	patched.Verts[sink].Cap = 4.25
+	rat, cap := 512.5, 4.25
+	rec = request(t, h, "PUT", "/v1/sessions/eco1", sessionRequest{Patches: []sessionPatch{
+		{Kind: "sink", Vertex: vertexName(tr, sink), RAT: &rat, Cap: &cap},
+	}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("patch: %d %s", rec.Code, rec.Body.String())
+	}
+	var delta sessionResponse
+	decodeInto(t, rec, &delta)
+	if delta.Session.Created || delta.Session.Resolves != 2 {
+		t.Fatalf("patched session block = %+v", delta.Session)
+	}
+	if delta.Session.Recomputed <= 0 || delta.Session.Recomputed >= tr.Len() {
+		t.Fatalf("delta resolve recomputed %d vertices, want 0 < n < %d", delta.Session.Recomputed, tr.Len())
+	}
+	if got, want := delta.Slack, coldSlack(t, patched, lib); got != want {
+		t.Fatalf("patched session slack %v != cold slack %v", got, want)
+	}
+	if delta.Slack == created.Slack {
+		t.Fatal("patch did not change the answer; fixture too weak")
+	}
+
+	if n := metric(t, h, "session_resolves"); n != 2 {
+		t.Fatalf("session_resolves = %d, want 2", n)
+	}
+	if n := metric(t, h, "sessions_created"); n != 1 {
+		t.Fatalf("sessions_created = %d, want 1", n)
+	}
+	if n := metric(t, h, "session_patches"); n != 1 {
+		t.Fatalf("session_patches = %d, want 1", n)
+	}
+	if n := metric(t, h, "sessions_active"); n != 1 {
+		t.Fatalf("sessions_active = %d, want 1", n)
+	}
+	if n := metric(t, h, "session_full_rebuilds"); n != 1 {
+		t.Fatalf("session_full_rebuilds = %d, want 1", n)
+	}
+	if n := metric(t, h, "session_recomputed_vertices"); n != int64(tr.Len()+delta.Session.Recomputed) {
+		t.Fatalf("session_recomputed_vertices = %d, want %d", n, tr.Len()+delta.Session.Recomputed)
+	}
+}
+
+// TestSessionCacheCoherence: session resolves and plain solves share the
+// result cache in both directions, because the session keys its patched tree
+// by the same canonical .net text a client would POST.
+func TestSessionCacheCoherence(t *testing.T) {
+	tr, net, lib := sessionFixture(t)
+	h := New(Config{}).Handler()
+
+	// Session first: the creating resolve populates the cache for /v1/solve.
+	rec := request(t, h, "PUT", "/v1/sessions/coh", sessionRequest{Net: net, Library: lib})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	solveRec := post(t, h, "/v1/solve", solveRequest{Net: net, Library: lib})
+	if solveRec.Code != http.StatusOK {
+		t.Fatalf("solve: %d %s", solveRec.Code, solveRec.Body.String())
+	}
+	var solved solveResponse
+	decodeInto(t, solveRec, &solved)
+	if !solved.Cached {
+		t.Fatal("plain solve of the session's net missed the cache")
+	}
+	if n := metric(t, h, "engine_runs"); n != 1 {
+		t.Fatalf("engine_runs = %d, want 1 (solve served from session's cache entry)", n)
+	}
+
+	// Solve first: a plain solve of the patched net pre-warms the cache, and
+	// the session's patch resolve is answered from it with zero engine work.
+	sink := tr.Sinks()[0]
+	patched := tr.Clone()
+	patched.Verts[sink].RAT = 777.25
+	patched.Verts[sink].Cap = 6.5
+	patchedText := netText(t, patched, "eco", bufferkit.Driver{R: 0.2, K: 15})
+	solveRec = post(t, h, "/v1/solve", solveRequest{Net: patchedText, Library: lib})
+	if solveRec.Code != http.StatusOK {
+		t.Fatalf("solve patched: %d %s", solveRec.Code, solveRec.Body.String())
+	}
+	var cold solveResponse
+	decodeInto(t, solveRec, &cold)
+	if cold.Cached {
+		t.Fatal("patched net unexpectedly cached already")
+	}
+
+	rat, cap := 777.25, 6.5
+	rec = request(t, h, "PUT", "/v1/sessions/coh", sessionRequest{Patches: []sessionPatch{
+		{Kind: "sink", Vertex: vertexName(tr, sink), RAT: &rat, Cap: &cap},
+	}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("patch: %d %s", rec.Code, rec.Body.String())
+	}
+	var warm sessionResponse
+	decodeInto(t, rec, &warm)
+	if !warm.Cached {
+		t.Fatal("session resolve of pre-solved net missed the cache")
+	}
+	if warm.Slack != cold.Slack || warm.Buffers != cold.Buffers {
+		t.Fatalf("cache returned a different result: %+v vs %+v", warm.solveResponse, cold)
+	}
+	if warm.Session.Recomputed != 0 || warm.Session.Resolves != 1 {
+		t.Fatalf("cache-hit session block = %+v, want no new resolve", warm.Session)
+	}
+	if n := metric(t, h, "session_cache_hits"); n != 1 {
+		t.Fatalf("session_cache_hits = %d, want 1", n)
+	}
+	if n := metric(t, h, "engine_runs"); n != 2 {
+		t.Fatalf("engine_runs = %d, want 2 (session patch answered from cache)", n)
+	}
+}
+
+func TestSessionErrors(t *testing.T) {
+	_, net, lib := sessionFixture(t)
+	h := New(Config{}).Handler()
+
+	// Unknown id without net + library cannot create.
+	rec := request(t, h, "PUT", "/v1/sessions/ghost", sessionRequest{})
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("patch unknown session: %d %s", rec.Code, rec.Body.String())
+	}
+
+	if rec = request(t, h, "PUT", "/v1/sessions/s", sessionRequest{Net: net, Library: lib}); rec.Code != http.StatusOK {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// Re-creating under the same id must match byte for byte.
+	other := readTestdata(t, "line.net")
+	for _, tc := range []struct {
+		name string
+		req  sessionRequest
+	}{
+		{"net", sessionRequest{Net: other, Library: lib}},
+		{"library", sessionRequest{Net: net, Library: "buffer b res 1 cin 1 delay 1 cost 1\n"}},
+		{"options", sessionRequest{Net: net, Library: lib, solveOptions: solveOptions{Algorithm: "lillis"}}},
+	} {
+		if rec = request(t, h, "PUT", "/v1/sessions/s", tc.req); rec.Code != http.StatusConflict {
+			t.Fatalf("conflicting %s: %d %s", tc.name, rec.Code, rec.Body.String())
+		}
+	}
+
+	// Malformed patches are rejected before touching the session.
+	rat, cap := 1.0, 1.0
+	for _, tc := range []struct {
+		name  string
+		patch sessionPatch
+	}{
+		{"unknown vertex", sessionPatch{Kind: "sink", Vertex: "nope", RAT: &rat, Cap: &cap}},
+		{"missing fields", sessionPatch{Kind: "sink", Vertex: "v1"}},
+		{"unknown kind", sessionPatch{Kind: "teleport", Vertex: "v1"}},
+	} {
+		rec = request(t, h, "PUT", "/v1/sessions/s", sessionRequest{Patches: []sessionPatch{tc.patch}})
+		if rec.Code != http.StatusBadRequest {
+			t.Fatalf("%s: %d %s", tc.name, rec.Code, rec.Body.String())
+		}
+	}
+
+	// A well-formed patch the engine rejects (sink patch on the source)
+	// surfaces as 400 via the session's sticky-error channel...
+	rec = request(t, h, "PUT", "/v1/sessions/s", sessionRequest{Patches: []sessionPatch{
+		{Kind: "sink", Vertex: "src", RAT: &rat, Cap: &cap},
+	}})
+	if rec.Code != http.StatusBadRequest {
+		t.Fatalf("sink patch on source: %d %s", rec.Code, rec.Body.String())
+	}
+	// ...and the session stays usable afterwards.
+	rec = request(t, h, "PUT", "/v1/sessions/s", sessionRequest{})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("resolve after rejected patch: %d %s", rec.Code, rec.Body.String())
+	}
+
+	// The sessions endpoint can be disabled outright.
+	hOff := New(Config{MaxSessions: -1}).Handler()
+	if rec = request(t, hOff, "PUT", "/v1/sessions/s", sessionRequest{Net: net, Library: lib}); rec.Code != http.StatusNotFound {
+		t.Fatalf("disabled sessions: %d %s", rec.Code, rec.Body.String())
+	}
+}
+
+func TestSessionDelete(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	_, net, lib := sessionFixture(t)
+	h := New(Config{}).Handler()
+
+	if rec := request(t, h, "PUT", "/v1/sessions/del", sessionRequest{Net: net, Library: lib}); rec.Code != http.StatusOK {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	rec := request(t, h, "DELETE", "/v1/sessions/del", nil)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("delete: %d %s", rec.Code, rec.Body.String())
+	}
+	var closed map[string]any
+	decodeInto(t, rec, &closed)
+	if closed["closed"] != true || closed["id"] != "del" {
+		t.Fatalf("delete reply = %v", closed)
+	}
+	if rec = request(t, h, "DELETE", "/v1/sessions/del", nil); rec.Code != http.StatusNotFound {
+		t.Fatalf("double delete: %d %s", rec.Code, rec.Body.String())
+	}
+	// A patches-only PUT after delete is a 404; resending net and library
+	// recreates the session under the same id.
+	if rec = request(t, h, "PUT", "/v1/sessions/del", sessionRequest{}); rec.Code != http.StatusNotFound {
+		t.Fatalf("patch deleted session: %d %s", rec.Code, rec.Body.String())
+	}
+	rec = request(t, h, "PUT", "/v1/sessions/del", sessionRequest{Net: net, Library: lib})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("recreate: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp sessionResponse
+	decodeInto(t, rec, &resp)
+	if !resp.Session.Created {
+		t.Fatalf("recreate session block = %+v", resp.Session)
+	}
+}
+
+func TestSessionLRUEviction(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	_, net, lib := sessionFixture(t)
+	h := New(Config{MaxSessions: 2}).Handler()
+
+	for _, id := range []string{"a", "b", "c"} {
+		if rec := request(t, h, "PUT", "/v1/sessions/"+id, sessionRequest{Net: net, Library: lib}); rec.Code != http.StatusOK {
+			t.Fatalf("create %s: %d %s", id, rec.Code, rec.Body.String())
+		}
+	}
+	if n := metric(t, h, "sessions_evicted"); n != 1 {
+		t.Fatalf("sessions_evicted = %d, want 1", n)
+	}
+	if n := metric(t, h, "sessions_active"); n != 2 {
+		t.Fatalf("sessions_active = %d, want 2", n)
+	}
+	// "a" was least recently used and is gone; "b" and "c" still answer.
+	if rec := request(t, h, "PUT", "/v1/sessions/a", sessionRequest{}); rec.Code != http.StatusNotFound {
+		t.Fatalf("evicted session a: %d %s", rec.Code, rec.Body.String())
+	}
+	for _, id := range []string{"b", "c"} {
+		if rec := request(t, h, "PUT", "/v1/sessions/"+id, sessionRequest{}); rec.Code != http.StatusOK {
+			t.Fatalf("surviving session %s: %d %s", id, rec.Code, rec.Body.String())
+		}
+	}
+}
+
+func TestSessionTTLEviction(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	_, net, lib := sessionFixture(t)
+	h := New(Config{SessionTTL: time.Millisecond}).Handler()
+
+	if rec := request(t, h, "PUT", "/v1/sessions/old", sessionRequest{Net: net, Library: lib}); rec.Code != http.StatusOK {
+		t.Fatalf("create: %d %s", rec.Code, rec.Body.String())
+	}
+	time.Sleep(5 * time.Millisecond)
+	// Any session request sweeps expired entries before the table lookup.
+	if rec := request(t, h, "PUT", "/v1/sessions/old", sessionRequest{}); rec.Code != http.StatusNotFound {
+		t.Fatalf("expired session: %d %s", rec.Code, rec.Body.String())
+	}
+	if n := metric(t, h, "sessions_evicted"); n != 1 {
+		t.Fatalf("sessions_evicted = %d, want 1", n)
+	}
+	if n := metric(t, h, "sessions_active"); n != 0 {
+		t.Fatalf("sessions_active = %d, want 0", n)
+	}
+}
