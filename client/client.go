@@ -68,9 +68,21 @@ type Client struct {
 	hc    *http.Client
 	retry RetryPolicy
 	// hedgeAfter launches a second identical solve when the first has not
-	// answered within this delay (0 = hedging off).
+	// answered within this delay (0 = hedging off). Only Solve ever
+	// hedges: batch, chip and session requests are streaming or stateful —
+	// replaying one is not idempotent — so they are never raced.
 	hedgeAfter time.Duration
 	budget     *retryBudget
+	// Fleet affinity state (see fleet.go): the member ring mirrors the
+	// servers' consistent hash, so Solve goes straight to a digest's cache
+	// home. peerMu guards it because BootstrapPeers can refresh the list
+	// at runtime. initErr carries an option's deferred validation failure
+	// into New.
+	peerMu  sync.RWMutex
+	peerURL map[string]*url.URL
+	ring    *peerRing
+	initErr error
+	stats   clientStats
 	// sleep, jitter and now are test seams; production uses real time and
 	// rand.Float64.
 	sleep  func(context.Context, time.Duration) error
@@ -127,6 +139,9 @@ func New(baseURL string, opts ...Option) (*Client, error) {
 		o(c)
 	}
 	c.retry.fill()
+	if c.initErr != nil {
+		return nil, c.initErr
+	}
 	return c, nil
 }
 
@@ -138,6 +153,11 @@ type APIError struct {
 	Message string
 	// Field names the offending request field on 400s, when known.
 	Field string
+	// Peer names the fleet member whose verdict this is when the error
+	// was relayed through a forwarding node — a peer's 504 is
+	// distinguishable from the contacted node's own deadline ("" = the
+	// node this client talked to).
+	Peer string
 	// RetryAfter is the server's backoff hint on 429/503 (0 = none).
 	RetryAfter time.Duration
 }
@@ -198,22 +218,38 @@ func (c *Client) backoff(attempt int, hint time.Duration) time.Duration {
 // before a response is obtained — consuming a streamed body and then
 // failing is the caller's to surface, never to silently re-run.
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
+	return c.doTargets(ctx, method, path, body, nil)
+}
+
+// doTargets is the retry loop over an ordered target list (nil = just the
+// base URL). With multiple targets, a retryable failure advances to the
+// next one — and a connection-level failure fails over immediately, no
+// backoff, because waiting out a dead peer helps nobody. The retry budget
+// and attempt cap bound the total work either way.
+func (c *Client) doTargets(ctx context.Context, method, path string, body []byte, targets []*url.URL) (*http.Response, error) {
+	if len(targets) == 0 {
+		targets = []*url.URL{c.base}
+	}
 	var lastErr error
+	target := 0
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			if !c.budget.allow() {
 				return nil, fmt.Errorf("%w after %v", ErrBudgetExhausted, lastErr)
 			}
-			var hint time.Duration
 			var apiErr *APIError
 			if errors.As(lastErr, &apiErr) {
-				hint = apiErr.RetryAfter
-			}
-			if err := c.sleep(ctx, c.backoff(attempt-1, hint)); err != nil {
-				return nil, err
+				if err := c.sleep(ctx, c.backoff(attempt-1, apiErr.RetryAfter)); err != nil {
+					return nil, err
+				}
+			} else if target == 0 {
+				// Transport failure with nowhere else to go: plain backoff.
+				if err := c.sleep(ctx, c.backoff(attempt-1, 0)); err != nil {
+					return nil, err
+				}
 			}
 		}
-		resp, err := c.attempt(ctx, method, path, body)
+		resp, err := c.attemptAt(ctx, targets[target%len(targets)], method, path, body)
 		if err == nil {
 			c.budget.deposit()
 			return resp, nil
@@ -222,13 +258,23 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*htt
 		if !retryable(err) {
 			return nil, err
 		}
+		if len(targets) > 1 {
+			target++
+			c.stats.peerFailovers.Add(1)
+		}
 	}
 	return nil, lastErr
 }
 
-// attempt sends one request and maps non-2xx replies to *APIError.
+// attempt sends one request to the base URL; see attemptAt.
 func (c *Client) attempt(ctx context.Context, method, path string, body []byte) (*http.Response, error) {
-	u := c.base.JoinPath(path)
+	return c.attemptAt(ctx, c.base, method, path, body)
+}
+
+// attemptAt sends one request to the given base and maps non-2xx replies
+// to *APIError.
+func (c *Client) attemptAt(ctx context.Context, base *url.URL, method, path string, body []byte) (*http.Response, error) {
+	u := base.JoinPath(path)
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -252,10 +298,11 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	var eb struct {
 		Error string `json:"error"`
 		Field string `json:"field"`
+		Peer  string `json:"peer"`
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
-		apiErr.Message, apiErr.Field = eb.Error, eb.Field
+		apiErr.Message, apiErr.Field, apiErr.Peer = eb.Error, eb.Field, eb.Peer
 	} else {
 		apiErr.Message = strings.TrimSpace(string(raw))
 	}
@@ -310,39 +357,70 @@ func (c *Client) doJSON(ctx context.Context, method, path string, in, out any) e
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
-// Solve solves one net. When hedging is armed (WithHedging) and the
-// first request has not answered within the hint, a second identical
-// request races it and the first response wins — safe because solves are
-// idempotent and cached server-side.
+// Solve solves one net. With a known peer list (WithPeers or
+// BootstrapPeers) the request goes straight to the digest's cache home —
+// computed from the same consistent hash the servers route by — with the
+// remaining members as failover order. When hedging is armed
+// (WithHedging) and the first request has not answered within the hint,
+// a second identical request races it (against the replica, in fleet
+// mode) and the first response wins — safe because solves are idempotent
+// and cached server-side.
 func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResult, error) {
+	targets := c.solveTargets(&req)
 	if c.hedgeAfter <= 0 {
 		var out SolveResult
-		if err := c.postJSON(ctx, "/v1/solve", &req, &out); err != nil {
+		body, err := json.Marshal(&req)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := c.doTargets(ctx, http.MethodPost, "/v1/solve", body, targets)
+		if err != nil {
+			return nil, err
+		}
+		defer resp.Body.Close()
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			return nil, err
 		}
 		return &out, nil
 	}
-	return c.hedgedSolve(ctx, req)
+	return c.hedgedSolve(ctx, req, targets)
 }
 
-func (c *Client) hedgedSolve(ctx context.Context, req SolveRequest) (*SolveResult, error) {
+func (c *Client) hedgedSolve(ctx context.Context, req SolveRequest, targets []*url.URL) (*SolveResult, error) {
+	body, err := json.Marshal(&req)
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel() // the loser is canceled on return
 	type outcome struct {
 		res *SolveResult
+		idx int
 		err error
 	}
 	results := make(chan outcome, 2)
-	launch := func() {
-		var out SolveResult
-		err := c.postJSON(ctx, "/v1/solve", &req, &out)
+	// Arm i talks to its own target (in fleet mode the hedge races the
+	// replica, not the same node), retrying within that arm only — the
+	// other arm covers the other member.
+	launch := func(i int) {
+		var t []*url.URL
+		if len(targets) > 0 {
+			t = []*url.URL{targets[i%len(targets)]}
+		}
+		resp, err := c.doTargets(ctx, http.MethodPost, "/v1/solve", body, t)
 		if err != nil {
-			results <- outcome{err: err}
+			results <- outcome{idx: i, err: err}
 			return
 		}
-		results <- outcome{res: &out}
+		defer resp.Body.Close()
+		var out SolveResult
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			results <- outcome{idx: i, err: err}
+			return
+		}
+		results <- outcome{res: &out, idx: i}
 	}
-	go launch()
+	go launch(0)
 	hedge := time.NewTimer(c.hedgeAfter)
 	defer hedge.Stop()
 	inFlight, hedged := 1, false
@@ -353,11 +431,20 @@ func (c *Client) hedgedSolve(ctx context.Context, req SolveRequest) (*SolveResul
 			if !hedged {
 				hedged = true
 				inFlight++
-				go launch()
+				c.stats.hedgesLaunched.Add(1)
+				go launch(1)
 			}
 		case o := <-results:
 			if o.err == nil {
-				return o.res, nil // first success wins; cancel() stops the loser
+				if hedged {
+					// First success wins; score the race for Stats.
+					if o.idx > 0 {
+						c.stats.hedgeWins.Add(1)
+					} else {
+						c.stats.hedgeLosses.Add(1)
+					}
+				}
+				return o.res, nil // cancel() stops the loser
 			}
 			if firstErr == nil {
 				firstErr = o.err

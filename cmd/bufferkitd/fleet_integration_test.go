@@ -1,0 +1,307 @@
+package main
+
+// Multi-process fleet integration test: build the real bufferkitd
+// binary, boot a 3-node fleet, overload it at roughly twice its engine
+// capacity, SIGKILL one node mid-stream, then heal it — asserting the
+// fleet's survival contract end to end:
+//
+//   - zero lost requests: every solve returns a result or a typed API
+//     error (429/503 with a hint), never a transport failure surfaced to
+//     the caller,
+//   - bounded tail latency under overload,
+//   - the survivors detect the death and the healed node rejoins,
+//   - the cache hit rate recovers after the heal: a repeated pass over
+//     fresh nets is served hot.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"bufferkit/client"
+)
+
+// buildDaemon compiles the real binary once into a test temp dir.
+func buildDaemon(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "bufferkitd")
+	cmd := exec.Command("go", "build", "-o", bin, ".")
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// reserveAddrs grabs n distinct loopback ports by binding and releasing
+// them. The tiny reuse race is acceptable in tests.
+func reserveAddrs(t *testing.T, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	lns := make([]net.Listener, n)
+	for i := range n {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		ln.Close()
+	}
+	return addrs
+}
+
+// fleetProc is one running bufferkitd node.
+type fleetProc struct {
+	cmd *exec.Cmd
+	url string
+}
+
+// startNode launches node i of the fleet with fast probe/hedge knobs and
+// a deliberately small engine pool so the test can overload it.
+func startNode(t *testing.T, bin string, addrs, urls []string, i int) *fleetProc {
+	t.Helper()
+	cmd := exec.Command(bin,
+		"-addr", addrs[i],
+		"-self", urls[i],
+		"-peers", strings.Join(urls, ","),
+		"-replicas", "2",
+		"-probe-interval", "100ms",
+		"-hedge-after", "50ms",
+		"-concurrency", "2",
+		"-timeout", "10s",
+		"-queue-timeout", "5s",
+		"-grace", "2s",
+	)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start node %d: %v", i, err)
+	}
+	p := &fleetProc{cmd: cmd, url: urls[i]}
+	t.Cleanup(func() {
+		p.cmd.Process.Kill()
+		p.cmd.Wait()
+	})
+	return p
+}
+
+// waitReady polls /readyz until it answers 200.
+func waitReady(t *testing.T, url string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url + "/readyz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("%s never became ready", url)
+}
+
+// peerCounts reads one node's peer_dead and peer_suspect gauges via the
+// client's typed fleet endpoint (state strings, counted here).
+func peerCounts(t *testing.T, url string) (dead, suspect int) {
+	t.Helper()
+	c, err := client.New(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := c.Fleet(context.Background())
+	if err != nil {
+		return -1, -1 // node unreachable; caller keeps polling
+	}
+	for _, p := range info.Peers {
+		switch p.State {
+		case "dead":
+			dead++
+		case "suspect":
+			suspect++
+		}
+	}
+	return dead, suspect
+}
+
+// mintNet renames the template net so each name yields a distinct
+// digest (and thus a distinct ring placement) with identical topology.
+func mintNet(tmpl, name string) string {
+	_, rest, ok := strings.Cut(tmpl, "\n")
+	if !ok {
+		panic("net template has no body")
+	}
+	return "net " + name + "\n" + rest
+}
+
+func TestFleetThreeNodeChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process fleet test")
+	}
+	netTmpl, err := os.ReadFile("../../testdata/random12.net")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lib, err := os.ReadFile("../../testdata/lib8.buf")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bin := buildDaemon(t)
+	addrs := reserveAddrs(t, 3)
+	urls := make([]string, 3)
+	for i, a := range addrs {
+		urls[i] = "http://" + a
+	}
+	procs := make([]*fleetProc, 3)
+	for i := range procs {
+		procs[i] = startNode(t, bin, addrs, urls, i)
+	}
+	for _, u := range urls {
+		waitReady(t, u, 10*time.Second)
+	}
+
+	// A fleet-aware client: digest-affinity routing over all three nodes,
+	// quick retries, and a retry budget generous enough that the chaos
+	// below is absorbed by failover, not budget exhaustion.
+	c, err := client.New(urls[0],
+		client.WithPeers(urls...),
+		client.WithRetry(client.RetryPolicy{MaxAttempts: 4, BaseDelay: 25 * time.Millisecond, MaxDelay: 200 * time.Millisecond}),
+		client.WithRetryBudget(1, 256),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	solve := func(ctx context.Context, name string) (*client.SolveResult, error) {
+		return c.Solve(ctx, client.SolveRequest{
+			Net:     mintNet(string(netTmpl), name),
+			Library: string(lib),
+		})
+	}
+
+	// Phase 1 — overload at ~2x capacity (6 engine slots fleet-wide, 12
+	// workers) and SIGKILL node 2 mid-stream. Every request must come
+	// back as a result or a typed API error; transport failures surfaced
+	// to the caller count as lost.
+	const workers, perWorker = 12, 8
+	var (
+		lost      atomic.Int64
+		shed      atomic.Int64
+		ok        atomic.Int64
+		mu        sync.Mutex
+		latencies []time.Duration
+	)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range perWorker {
+				start := time.Now()
+				_, err := solve(ctx, fmt.Sprintf("chaos-w%d-%d", w, i))
+				elapsed := time.Since(start)
+				var apiErr *client.APIError
+				switch {
+				case err == nil:
+					ok.Add(1)
+					mu.Lock()
+					latencies = append(latencies, elapsed)
+					mu.Unlock()
+				case errors.As(err, &apiErr):
+					shed.Add(1) // honest typed shed (429/503/...) — not lost
+				default:
+					lost.Add(1)
+					t.Errorf("lost request chaos-w%d-%d: %v", w, i, err)
+				}
+			}
+		}()
+	}
+	time.Sleep(300 * time.Millisecond) // let the stream build up in-flight load
+	victim := 2
+	procs[victim].cmd.Process.Kill()
+	procs[victim].cmd.Wait()
+	wg.Wait()
+	t.Logf("overload+kill: %d ok, %d shed, %d lost", ok.Load(), shed.Load(), lost.Load())
+	if lost.Load() != 0 {
+		t.Fatalf("%d requests lost during node kill", lost.Load())
+	}
+	if ok.Load() == 0 {
+		t.Fatal("no request succeeded under overload")
+	}
+	// Bounded tail: generous, but far below the 10s solve budget — the
+	// point is that a dead peer costs a fast failover, not a timeout.
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if p99 := latencies[len(latencies)*99/100]; p99 > 8*time.Second {
+		t.Fatalf("p99 latency %s under overload+kill, want < 8s", p99)
+	}
+
+	// Phase 2 — the survivors' failure detectors mark the victim dead.
+	waitFor(t, 10*time.Second, "survivor marks victim dead", func() bool {
+		dead, _ := peerCounts(t, urls[0])
+		return dead >= 1
+	})
+
+	// Phase 3 — heal: restart the victim and wait until every node,
+	// the healed one included, sees a fully alive fleet.
+	procs[victim] = startNode(t, bin, addrs, urls, victim)
+	waitReady(t, urls[victim], 10*time.Second)
+	for _, u := range urls {
+		waitFor(t, 15*time.Second, "fleet healthy at "+u, func() bool {
+			dead, suspect := peerCounts(t, u)
+			return dead == 0 && suspect == 0
+		})
+	}
+
+	// Phase 4 — cache hit-rate recovery: two passes over fresh nets. Pass
+	// A populates the (partly cold) fleet, pass B must be served hot.
+	const healNets = 12
+	for i := range healNets {
+		if _, err := solve(ctx, fmt.Sprintf("heal-%d", i)); err != nil {
+			t.Fatalf("heal pass A net %d: %v", i, err)
+		}
+	}
+	hot := 0
+	for i := range healNets {
+		res, err := solve(ctx, fmt.Sprintf("heal-%d", i))
+		if err != nil {
+			t.Fatalf("heal pass B net %d: %v", i, err)
+		}
+		if res.Cached || res.Coalesced {
+			hot++
+		}
+	}
+	t.Logf("heal pass B: %d/%d served from cache", hot, healNets)
+	if hot < healNets*3/4 {
+		t.Fatalf("cache hit rate after heal = %d/%d, want >= 3/4", hot, healNets)
+	}
+}
+
+// waitFor polls cond until true or the deadline, failing with what it
+// was waiting on.
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

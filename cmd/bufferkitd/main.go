@@ -7,10 +7,18 @@
 //	bufferkitd [-addr :8080] [-concurrency 0] [-cache 4096]
 //	           [-timeout 30s] [-max-timeout 5m] [-max-body 16777216]
 //	           [-max-queue 0] [-queue-timeout 10s] [-drain-wait 0]
+//	           [-self URL -peers URL,URL,... [-replicas 2]]
+//	           [-tenant-quotas "acme=50:100,*=10"]
 //
 // Every flag also reads a BUFFERKITD_* environment variable (flag name
 // upper-snake-cased: -max-queue → BUFFERKITD_MAX_QUEUE). An explicit
 // flag wins over the environment.
+//
+// Fleet mode: start every node with the same -peers list (and its own
+// -self URL) and single solves route to their cache home by consistent
+// hashing, results replicate across -replicas owners, and each node
+// probes the others to route around failures. See internal/fleet and
+// README.md "Running a fleet".
 //
 // Endpoints (see internal/server for the full protocol):
 //
@@ -20,6 +28,8 @@
 //	POST /v1/chip       multi-net chip solve, JSON in / NDJSON rounds out
 //	PUT  /v1/sessions/{id} incremental ECO session: create, patch, re-solve
 //	GET  /v1/algorithms algorithm registry with descriptions
+//	GET  /v1/fleet      fleet topology + per-peer health
+//	PUT  /internal/v1/cache peer-to-peer result replication
 //	GET  /healthz       liveness probe
 //	GET  /readyz        readiness probe (503 while draining)
 //	GET  /metrics       expvar counters as JSON
@@ -44,6 +54,8 @@ import (
 	"syscall"
 	"time"
 
+	"bufferkit/internal/fleet"
+	"bufferkit/internal/resilience"
 	"bufferkit/internal/server"
 )
 
@@ -77,6 +89,14 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 		queueTimeout = fs.Duration("queue-timeout", 0, "max admission-queue wait (0 = 10s, negative = wait for the request deadline)")
 		grace        = fs.Duration("grace", 30*time.Second, "shutdown grace period for in-flight solves")
 		drainWait    = fs.Duration("drain-wait", 0, "delay between flipping /readyz to 503 and closing the listener")
+
+		self           = fs.String("self", "", "this node's advertised base URL in fleet mode (must appear in -peers)")
+		peers          = fs.String("peers", "", "comma-separated fleet member URLs, -self included (empty = single node)")
+		replicas       = fs.Int("replicas", 0, "fleet replication factor R (0 = 2)")
+		probeInterval  = fs.Duration("probe-interval", 0, "fleet peer probe period (0 = 1s)")
+		hedgeAfter     = fs.Duration("hedge-after", 0, "delay before hedging a forwarded solve to the replica (0 = 30ms)")
+		forwardTimeout = fs.Duration("forward-timeout", 0, "cap on one forwarded attempt's sub-deadline (0 = 5s)")
+		tenantQuotas   = fs.String("tenant-quotas", "", `per-tenant rate[:burst] quotas keyed by X-Bufferkit-Tenant, "*" for the default bucket (e.g. "acme=50:100,*=10"; empty = unlimited)`)
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -101,25 +121,60 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 	if envErr != nil {
 		return nil, envErr
 	}
+	cfg := server.Config{
+		MaxConcurrent:   *concurrency,
+		CacheEntries:    *cacheSize,
+		DefaultTimeout:  *timeout,
+		MaxTimeout:      *maxTimeout,
+		MaxBodyBytes:    *maxBody,
+		MaxBatchNets:    *maxBatch,
+		MaxYieldSamples: *maxYield,
+		MaxChipNets:     *maxChip,
+		MaxQueue:        *maxQueue,
+		QueueTimeout:    *queueTimeout,
+		MaxSessions:     *maxSessions,
+		SessionTTL:      *sessionTTL,
+	}
+	if *peers != "" {
+		cfg.Fleet = fleet.Config{
+			Self:           *self,
+			Peers:          splitPeers(*peers),
+			Replicas:       *replicas,
+			ProbeInterval:  *probeInterval,
+			HedgeAfter:     *hedgeAfter,
+			ForwardTimeout: *forwardTimeout,
+		}
+		if err := cfg.Fleet.Validate(); err != nil {
+			return nil, err
+		}
+	} else if *self != "" {
+		return nil, fmt.Errorf("-self is set but -peers is empty")
+	}
+	if *tenantQuotas != "" {
+		q, err := resilience.ParseQuotaSpecs(*tenantQuotas)
+		if err != nil {
+			return nil, err
+		}
+		cfg.TenantQuotas = q
+	}
 	return &options{
-		addr: *addr,
-		cfg: server.Config{
-			MaxConcurrent:   *concurrency,
-			CacheEntries:    *cacheSize,
-			DefaultTimeout:  *timeout,
-			MaxTimeout:      *maxTimeout,
-			MaxBodyBytes:    *maxBody,
-			MaxBatchNets:    *maxBatch,
-			MaxYieldSamples: *maxYield,
-			MaxChipNets:     *maxChip,
-			MaxQueue:        *maxQueue,
-			QueueTimeout:    *queueTimeout,
-			MaxSessions:     *maxSessions,
-			SessionTTL:      *sessionTTL,
-		},
+		addr:      *addr,
+		cfg:       cfg,
 		grace:     *grace,
 		drainWait: *drainWait,
 	}, nil
+}
+
+// splitPeers parses the comma-separated -peers list, trimming whitespace
+// and dropping empty entries.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func main() {
@@ -151,6 +206,7 @@ func run(ctx context.Context, opts *options, listening ...chan<- string) error {
 		return err
 	}
 	s := server.New(opts.cfg)
+	defer s.Close()
 	srv := &http.Server{
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,

@@ -98,6 +98,73 @@ func TestParseFlagsEnvLosesToFlag(t *testing.T) {
 	}
 }
 
+// TestParseFlagsFleet: the fleet flags build a validated fleet.Config,
+// with whitespace tolerated in the -peers list.
+func TestParseFlagsFleet(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-self", "http://a:1",
+		"-peers", "http://a:1, http://b:2 ,http://c:3",
+		"-replicas", "3",
+		"-probe-interval", "200ms",
+		"-hedge-after", "15ms",
+		"-forward-timeout", "2s",
+		"-tenant-quotas", "acme=50:100,*=10",
+	}, noEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := opts.cfg.Fleet
+	if f.Self != "http://a:1" || len(f.Peers) != 3 || f.Peers[1] != "http://b:2" {
+		t.Errorf("fleet = %+v", f)
+	}
+	if f.Replicas != 3 || f.ProbeInterval != 200*time.Millisecond ||
+		f.HedgeAfter != 15*time.Millisecond || f.ForwardTimeout != 2*time.Second {
+		t.Errorf("fleet knobs = %+v", f)
+	}
+	if !f.Enabled() {
+		t.Error("3-member fleet not Enabled")
+	}
+	q, ok := opts.cfg.TenantQuotas["acme"]
+	if !ok || q.Rate != 50 || q.Burst != 100 {
+		t.Errorf("acme quota = %+v (present %v)", q, ok)
+	}
+	if _, ok := opts.cfg.TenantQuotas["*"]; !ok {
+		t.Error("default quota bucket missing")
+	}
+}
+
+// TestParseFlagsFleetEnv: fleet flags read BUFFERKITD_* like every other
+// knob.
+func TestParseFlagsFleetEnv(t *testing.T) {
+	opts, err := parseFlags(nil, env(map[string]string{
+		"BUFFERKITD_SELF":  "http://a:1",
+		"BUFFERKITD_PEERS": "http://a:1,http://b:2",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.cfg.Fleet.Self != "http://a:1" || len(opts.cfg.Fleet.Peers) != 2 {
+		t.Errorf("fleet from env = %+v", opts.cfg.Fleet)
+	}
+}
+
+// TestParseFlagsFleetBad: inconsistent fleet flags and malformed quota
+// specs are rejected at startup, not at first request.
+func TestParseFlagsFleetBad(t *testing.T) {
+	cases := [][]string{
+		{"-self", "http://a:1"},                                    // self without peers
+		{"-peers", "http://a:1,http://b:2"},                        // peers without self
+		{"-self", "http://c:3", "-peers", "http://a:1,http://b:2"}, // self not a member
+		{"-self", "http://a:1", "-peers", "http://a:1,http://a:1"}, // duplicate member
+		{"-tenant-quotas", "acme=fast"},                            // malformed quota
+	}
+	for _, args := range cases {
+		if _, err := parseFlags(args, noEnv); err == nil {
+			t.Errorf("parseFlags(%v) accepted", args)
+		}
+	}
+}
+
 func TestParseFlagsBadValues(t *testing.T) {
 	if _, err := parseFlags([]string{"-concurrency", "lots"}, noEnv); err == nil {
 		t.Error("bad flag value accepted")

@@ -1,0 +1,119 @@
+package chaoskit
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// Partition scripts symmetric network partitions between fleet peers:
+// while a pair is cut, every request between its two endpoints (either
+// direction) fails with a synthetic connection error. Pairs are keyed by
+// host (URL host:port), so the same Partition instance can be shared by
+// every node's PartitionTransport to model one network. Heals can be
+// immediate (Heal/HealAll) or scheduled (CutFor), so fleet chaos tests
+// can script split-brain-then-heal without sleeping in the fault layer.
+//
+// Like every chaoskit fault, partitions are deterministic: traffic is
+// dropped if and only if the pair is currently cut.
+type Partition struct {
+	mu  sync.Mutex
+	cut map[[2]string]bool
+}
+
+// NewPartition returns an empty (fully healed) partition script.
+func NewPartition() *Partition {
+	return &Partition{cut: make(map[[2]string]bool)}
+}
+
+// pairKey normalizes an unordered host pair.
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// Cut drops all traffic between hosts a and b, both directions, until
+// healed.
+func (p *Partition) Cut(a, b string) {
+	p.mu.Lock()
+	p.cut[pairKey(a, b)] = true
+	p.mu.Unlock()
+}
+
+// CutFor cuts the pair now and heals it automatically after d. The
+// returned timer can stop the scheduled heal.
+func (p *Partition) CutFor(a, b string, d time.Duration) *time.Timer {
+	p.Cut(a, b)
+	return time.AfterFunc(d, func() { p.Heal(a, b) })
+}
+
+// Isolate cuts host a from every host in others — the "one node falls
+// off the network" script.
+func (p *Partition) Isolate(a string, others ...string) {
+	for _, o := range others {
+		if o != a {
+			p.Cut(a, o)
+		}
+	}
+}
+
+// Heal restores traffic between a and b.
+func (p *Partition) Heal(a, b string) {
+	p.mu.Lock()
+	delete(p.cut, pairKey(a, b))
+	p.mu.Unlock()
+}
+
+// HealAll restores all traffic.
+func (p *Partition) HealAll() {
+	p.mu.Lock()
+	p.cut = make(map[[2]string]bool)
+	p.mu.Unlock()
+}
+
+// Blocked reports whether traffic between a and b is currently dropped.
+func (p *Partition) Blocked(a, b string) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.cut[pairKey(a, b)]
+}
+
+// Cuts returns the number of currently cut pairs.
+func (p *Partition) Cuts() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.cut)
+}
+
+// PartitionTransport is the http.RoundTripper one node plugs into its
+// fleet client to live inside a Partition: requests to a host the node is
+// cut from fail immediately with a synthetic connection error (a
+// net.Error timeout, like a dropped SYN), everything else forwards to
+// Base. Probes and forwards both go through it, so the failure detector
+// sees the partition exactly as it would a dead network path.
+type PartitionTransport struct {
+	// Self is this node's own host (host:port), one endpoint of every
+	// check.
+	Self string
+	// Part is the shared partition script.
+	Part *Partition
+	// Base handles unblocked requests (nil = http.DefaultTransport).
+	Base http.RoundTripper
+}
+
+// RoundTrip drops the request when the target host is partitioned away.
+func (t *PartitionTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if t.Part != nil && t.Part.Blocked(t.Self, req.URL.Host) {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &errInjected{op: "partition drop " + t.Self + " -x- " + req.URL.Host}
+	}
+	base := t.Base
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return base.RoundTrip(req)
+}

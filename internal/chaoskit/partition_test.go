@@ -1,0 +1,97 @@
+package chaoskit
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestPartitionSymmetricCutAndHeal(t *testing.T) {
+	p := NewPartition()
+	p.Cut("a:1", "b:2")
+	if !p.Blocked("a:1", "b:2") || !p.Blocked("b:2", "a:1") {
+		t.Fatal("cut is not symmetric")
+	}
+	if p.Blocked("a:1", "c:3") {
+		t.Fatal("unrelated pair blocked")
+	}
+	p.Heal("b:2", "a:1") // heal in the other orientation
+	if p.Blocked("a:1", "b:2") {
+		t.Fatal("heal did not restore the pair")
+	}
+	p.Isolate("a:1", "b:2", "c:3", "a:1")
+	if p.Cuts() != 2 {
+		t.Fatalf("Isolate cut %d pairs, want 2", p.Cuts())
+	}
+	p.HealAll()
+	if p.Cuts() != 0 {
+		t.Fatal("HealAll left cuts behind")
+	}
+}
+
+func TestPartitionCutForHealsOnSchedule(t *testing.T) {
+	p := NewPartition()
+	p.CutFor("a:1", "b:2", 30*time.Millisecond)
+	if !p.Blocked("a:1", "b:2") {
+		t.Fatal("CutFor did not cut immediately")
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for p.Blocked("a:1", "b:2") {
+		if time.Now().After(deadline) {
+			t.Fatal("CutFor never healed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestPartitionTransport(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+	host := srv.Listener.Addr().String()
+
+	p := NewPartition()
+	hc := &http.Client{Transport: &PartitionTransport{Self: "self:1", Part: p}}
+
+	resp, err := hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	resp.Body.Close()
+
+	p.Cut("self:1", host)
+	_, err = hc.Get(srv.URL)
+	if err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	var nerr net.Error
+	if ok := asNetError(err, &nerr); !ok || !nerr.Timeout() {
+		t.Fatalf("partition error %v is not a net.Error timeout", err)
+	}
+
+	p.Heal("self:1", host)
+	resp, err = hc.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("request after heal failed: %v", err)
+	}
+	resp.Body.Close()
+}
+
+// asNetError unwraps url.Error wrapping to find a net.Error.
+func asNetError(err error, target *net.Error) bool {
+	for err != nil {
+		if ne, ok := err.(net.Error); ok {
+			*target = ne
+			return true
+		}
+		u, ok := err.(interface{ Unwrap() error })
+		if !ok {
+			return false
+		}
+		err = u.Unwrap()
+	}
+	return false
+}

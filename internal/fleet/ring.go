@@ -1,0 +1,96 @@
+// Package fleet is the peer tier behind a multi-node bufferkitd
+// deployment. Each node is handed the same static member list and answers
+// three questions locally, with no coordination protocol:
+//
+//   - Placement: which R members own the cached result for a given request
+//     digest? (consistent hashing over the content-addressed cache key —
+//     ring.go)
+//   - Health: is a member alive, suspect, or dead right now? (a
+//     phi-accrual-style failure detector fed by periodic probes and
+//     per-request outcomes — detector.go)
+//   - Tail latency: how do we race a slow home peer against its replica
+//     without doubling fleet load? (budget-capped hedged calls — fleet.go)
+//
+// The package is transport-agnostic: it ranks peers and schedules calls,
+// while internal/server supplies the actual HTTP forwarding. Every
+// decision degrades toward "serve locally" — a node that can reach no
+// peer at all still answers every request from its own engines.
+package fleet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// RouteKey folds a request's content digests into the routing hash.
+// Deliberately built from the net and library digests only — not the
+// solve options — so any party that can hash the raw payloads (the Go
+// client, a sidecar, another node) computes the same home peer without
+// knowing the server's canonical option encoding. Different option sets
+// for one net share a home, which is what a synthesis loop wants anyway:
+// the net's results concentrate on one peer's cache.
+func RouteKey(netDigest, libDigest [32]byte) uint64 {
+	h := fnv.New64a()
+	h.Write(netDigest[:])
+	h.Write(libDigest[:])
+	return h.Sum64()
+}
+
+// vnodesPerMember is the number of ring points per member. 64 keeps the
+// per-member load imbalance under ~10% for small fleets while the whole
+// ring stays a few KB.
+const vnodesPerMember = 64
+
+// Ring is an immutable consistent-hash ring over the fleet's member URLs.
+// Build once with NewRing; lookups are lock-free.
+type Ring struct {
+	points  []ringPoint // sorted by hash
+	members []string
+}
+
+type ringPoint struct {
+	hash   uint64
+	member int // index into members
+}
+
+// NewRing builds the ring. Member order does not matter: placement
+// depends only on the member strings, so every node (and the client)
+// derives the same ring from the same -peers list in any order.
+func NewRing(members []string) *Ring {
+	r := &Ring{members: append([]string(nil), members...)}
+	sort.Strings(r.members)
+	for i, m := range r.members {
+		for v := 0; v < vnodesPerMember; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", m, v)
+			r.points = append(r.points, ringPoint{hash: h.Sum64(), member: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// Members returns the ring's member list (sorted).
+func (r *Ring) Members() []string { return r.members }
+
+// Owners returns the first n distinct members clockwise from key — the
+// replica set for key, in ring (preference) order. n is clamped to the
+// member count.
+func (r *Ring) Owners(key uint64, n int) []string {
+	if len(r.members) == 0 {
+		return nil
+	}
+	n = min(n, len(r.members))
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	out := make([]string, 0, n)
+	seen := make(map[int]bool, n)
+	for i := 0; len(out) < n && i < len(r.points); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.member] {
+			seen[p.member] = true
+			out = append(out, r.members[p.member])
+		}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package resilience
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Per-tenant quotas compose with the admission Controller: the Controller
+// protects the server's total capacity, the quotas protect tenants from
+// each other. A tenant burning through its bucket is shed with its own
+// 429 before it ever reaches admission, so one tenant's overload never
+// consumes queue positions that belong to everyone else.
+
+// QuotaSpec is one tenant's token bucket: Rate tokens per second refill,
+// Burst bucket capacity.
+type QuotaSpec struct {
+	Rate  float64
+	Burst int
+}
+
+// DefaultTenant keys the spec applied to tenants with no explicit entry
+// (the "*" entry of a -tenant-quotas flag). Absent a default, unlisted
+// tenants are unlimited — quotas are opt-in per tenant.
+const DefaultTenant = "*"
+
+// ParseQuotaSpecs decodes a -tenant-quotas flag value:
+//
+//	tenantA=50:100,tenantB=10,*=5:20
+//
+// Each entry is tenant=rate[:burst] with rate in requests/second; burst
+// defaults to max(2*rate, 1). "*" sets the default for unlisted tenants.
+func ParseQuotaSpecs(s string) (map[string]QuotaSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]QuotaSpec)
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, spec, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("quota %q: want tenant=rate[:burst]", part)
+		}
+		rateStr, burstStr, hasBurst := strings.Cut(spec, ":")
+		rate, err := strconv.ParseFloat(rateStr, 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("quota %q: bad rate %q", part, rateStr)
+		}
+		q := QuotaSpec{Rate: rate, Burst: max(int(2*rate), 1)}
+		if hasBurst {
+			b, err := strconv.Atoi(burstStr)
+			if err != nil || b <= 0 {
+				return nil, fmt.Errorf("quota %q: bad burst %q", part, burstStr)
+			}
+			q.Burst = b
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("quota %q: duplicate tenant", part)
+		}
+		out[name] = q
+	}
+	return out, nil
+}
+
+// TenantQuotas enforces per-tenant token buckets. Buckets refill
+// continuously at Rate tokens/second up to Burst. Create with
+// NewTenantQuotas; all methods are safe for concurrent use.
+type TenantQuotas struct {
+	specs map[string]QuotaSpec
+	now   func() time.Time
+
+	mu      sync.Mutex
+	buckets map[string]*tenantBucket
+
+	shedByTenant map[string]int64
+	allowed      int64
+	shed         int64
+}
+
+type tenantBucket struct {
+	tokens float64
+	last   time.Time
+	spec   QuotaSpec
+}
+
+// NewTenantQuotas builds the registry; nil/empty specs return nil (no
+// quota enforcement), so callers gate on the pointer.
+func NewTenantQuotas(specs map[string]QuotaSpec) *TenantQuotas {
+	if len(specs) == 0 {
+		return nil
+	}
+	return &TenantQuotas{
+		specs:        specs,
+		now:          time.Now,
+		buckets:      make(map[string]*tenantBucket),
+		shedByTenant: make(map[string]int64),
+	}
+}
+
+// SetClock injects a test clock.
+func (q *TenantQuotas) SetClock(now func() time.Time) { q.now = now }
+
+// Allow charges one request to tenant. ok=false means the tenant's
+// bucket is dry; retryAfter is the time until one token refills. Tenants
+// with no spec (and no "*" default) are always allowed.
+func (q *TenantQuotas) Allow(tenant string) (ok bool, retryAfter time.Duration) {
+	if q == nil {
+		return true, 0
+	}
+	spec, found := q.specs[tenant]
+	if !found {
+		spec, found = q.specs[DefaultTenant]
+		if !found {
+			q.mu.Lock()
+			q.allowed++
+			q.mu.Unlock()
+			return true, 0
+		}
+	}
+	now := q.now()
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	b := q.buckets[tenant]
+	if b == nil {
+		b = &tenantBucket{tokens: float64(spec.Burst), last: now, spec: spec}
+		q.buckets[tenant] = b
+	}
+	b.tokens = min(b.tokens+now.Sub(b.last).Seconds()*b.spec.Rate, float64(b.spec.Burst))
+	b.last = now
+	if b.tokens < 1 {
+		q.shed++
+		q.shedByTenant[tenant]++
+		wait := time.Duration((1 - b.tokens) / b.spec.Rate * float64(time.Second))
+		return false, max(wait, time.Millisecond)
+	}
+	b.tokens--
+	q.allowed++
+	return true, 0
+}
+
+// QuotaCounters is a point-in-time snapshot of quota decisions.
+type QuotaCounters struct {
+	Allowed int64
+	Shed    int64
+	// ShedByTenant breaks Shed down per tenant name.
+	ShedByTenant map[string]int64
+}
+
+// Counters snapshots the registry's statistics (zero value when q is nil).
+func (q *TenantQuotas) Counters() QuotaCounters {
+	if q == nil {
+		return QuotaCounters{}
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	by := make(map[string]int64, len(q.shedByTenant))
+	for k, v := range q.shedByTenant {
+		by[k] = v
+	}
+	return QuotaCounters{Allowed: q.allowed, Shed: q.shed, ShedByTenant: by}
+}

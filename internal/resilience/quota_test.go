@@ -1,0 +1,111 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseQuotaSpecs(t *testing.T) {
+	specs, err := ParseQuotaSpecs("alice=50:100, bob=10 ,*=5:20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := specs["alice"]; got != (QuotaSpec{Rate: 50, Burst: 100}) {
+		t.Errorf("alice = %+v", got)
+	}
+	if got := specs["bob"]; got != (QuotaSpec{Rate: 10, Burst: 20}) {
+		t.Errorf("bob = %+v, want default burst 2x rate", got)
+	}
+	if got := specs[DefaultTenant]; got != (QuotaSpec{Rate: 5, Burst: 20}) {
+		t.Errorf("default = %+v", got)
+	}
+	if s, err := ParseQuotaSpecs(""); err != nil || s != nil {
+		t.Errorf("empty = (%v, %v), want (nil, nil)", s, err)
+	}
+	for _, bad := range []string{"=5", "a", "a=0", "a=-1", "a=5:x", "a=5:0", "a=1,a=2"} {
+		if _, err := ParseQuotaSpecs(bad); err == nil {
+			t.Errorf("ParseQuotaSpecs(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTenantQuotaBurstAndRefill(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := NewTenantQuotas(map[string]QuotaSpec{"a": {Rate: 2, Burst: 3}})
+	q.SetClock(func() time.Time { return now })
+	for i := 0; i < 3; i++ {
+		if ok, _ := q.Allow("a"); !ok {
+			t.Fatalf("burst request %d shed", i)
+		}
+	}
+	ok, retry := q.Allow("a")
+	if ok {
+		t.Fatal("4th burst request allowed")
+	}
+	if retry <= 0 || retry > time.Second {
+		t.Fatalf("retryAfter = %v, want (0, 500ms]-ish", retry)
+	}
+	// 1 s at 2 tokens/s refills 2 requests.
+	now = now.Add(time.Second)
+	for i := 0; i < 2; i++ {
+		if ok, _ := q.Allow("a"); !ok {
+			t.Fatalf("refilled request %d shed", i)
+		}
+	}
+	if ok, _ := q.Allow("a"); ok {
+		t.Fatal("over-refilled")
+	}
+	c := q.Counters()
+	if c.Allowed != 5 || c.Shed != 2 || c.ShedByTenant["a"] != 2 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestTenantQuotaIsolation(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := NewTenantQuotas(map[string]QuotaSpec{"noisy": {Rate: 1, Burst: 1}})
+	q.SetClock(func() time.Time { return now })
+	if ok, _ := q.Allow("noisy"); !ok {
+		t.Fatal("first noisy request shed")
+	}
+	if ok, _ := q.Allow("noisy"); ok {
+		t.Fatal("noisy overflow allowed")
+	}
+	// Unlisted tenants are untouched by the noisy tenant's exhaustion.
+	for i := 0; i < 50; i++ {
+		if ok, _ := q.Allow("quiet"); !ok {
+			t.Fatal("unlisted tenant shed without a default spec")
+		}
+	}
+}
+
+func TestTenantQuotaDefaultSpec(t *testing.T) {
+	now := time.Unix(1000, 0)
+	q := NewTenantQuotas(map[string]QuotaSpec{DefaultTenant: {Rate: 1, Burst: 2}})
+	q.SetClock(func() time.Time { return now })
+	// Each unlisted tenant gets its own bucket from the "*" spec.
+	for _, tenant := range []string{"x", "y"} {
+		if ok, _ := q.Allow(tenant); !ok {
+			t.Fatalf("tenant %s first request shed", tenant)
+		}
+		if ok, _ := q.Allow(tenant); !ok {
+			t.Fatalf("tenant %s second request shed", tenant)
+		}
+		if ok, _ := q.Allow(tenant); ok {
+			t.Fatalf("tenant %s third request allowed beyond burst", tenant)
+		}
+	}
+}
+
+func TestTenantQuotasNil(t *testing.T) {
+	var q *TenantQuotas
+	if ok, retry := q.Allow("anyone"); !ok || retry != 0 {
+		t.Fatal("nil quotas must allow everything")
+	}
+	if c := q.Counters(); c.Allowed != 0 || c.Shed != 0 {
+		t.Fatalf("nil counters = %+v", c)
+	}
+	if NewTenantQuotas(nil) != nil {
+		t.Fatal("NewTenantQuotas(nil) should return nil")
+	}
+}

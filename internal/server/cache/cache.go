@@ -98,6 +98,32 @@ func (c *Cache) Put(k Key, v any) {
 		c.order.MoveToFront(el)
 		return
 	}
+	c.putNewLocked(k, v)
+}
+
+// PutIfAbsent stores v under k only when the key is not already cached,
+// reporting whether it stored. This is the write path for fleet
+// replication (write-through and read-repair): results are deterministic,
+// so an existing local entry is never worth replacing, and — unlike Put —
+// a replicated copy of something already cached must not refresh the
+// entry's recency, or replication traffic would distort the LRU order
+// that local demand established.
+func (c *Cache) PutIfAbsent(k Key, v any) bool {
+	if c.cap <= 0 {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[k]; ok {
+		return false
+	}
+	c.putNewLocked(k, v)
+	return true
+}
+
+// putNewLocked inserts a key known to be absent, evicting the LRU entry
+// when full. Callers hold mu.
+func (c *Cache) putNewLocked(k Key, v any) {
 	if c.order.Len() >= c.cap {
 		lru := c.order.Back()
 		c.order.Remove(lru)

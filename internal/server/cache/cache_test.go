@@ -67,6 +67,33 @@ func TestKeySeparatesPayloadsAndOptions(t *testing.T) {
 	}
 }
 
+func TestPutIfAbsent(t *testing.T) {
+	c := New(2)
+	if !c.PutIfAbsent(key(1), "a") {
+		t.Fatal("PutIfAbsent on empty cache did not store")
+	}
+	if c.PutIfAbsent(key(1), "clobber") {
+		t.Fatal("PutIfAbsent replaced an existing entry")
+	}
+	if v, _ := c.Get(key(1)); v != "a" {
+		t.Fatalf("value = %v, want original", v)
+	}
+	// A replicated copy of an existing key must not refresh recency:
+	// after touching 1 then replicating 1 again, 2 — not 1 — stays newest.
+	c.Put(key(2), "b")
+	c.PutIfAbsent(key(1), "again") // no-op, no recency bump for 1
+	c.Put(key(3), "c")             // evicts 1 (LRU), not 2
+	if _, ok := c.Get(key(1)); ok {
+		t.Fatal("key 1 survived eviction — PutIfAbsent bumped recency")
+	}
+	if _, ok := c.Get(key(2)); !ok {
+		t.Fatal("key 2 evicted out of order")
+	}
+	if New(0).PutIfAbsent(key(1), "x") {
+		t.Fatal("disabled cache stored a replica")
+	}
+}
+
 func TestDisabledCache(t *testing.T) {
 	for _, capacity := range []int{0, -1} {
 		c := New(capacity)

@@ -65,6 +65,10 @@ type errorResponse struct {
 	Field  string `json:"field,omitempty"`
 	Vertex *int   `json:"vertex,omitempty"`
 	Type   *int   `json:"type,omitempty"`
+	// Peer names the fleet member whose verdict this is, when the error
+	// was relayed from a forwarded request — a peer's 504 is
+	// distinguishable from the receiving node's own deadline.
+	Peer string `json:"peer,omitempty"`
 }
 
 // handleSolve solves one net: cache lookup on the raw payload digests,
@@ -84,6 +88,13 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp := *v.(*solveResponse) // copy: cached entries are immutable
 		resp.Cached = true
 		writeJSON(w, http.StatusOK, &resp)
+		return
+	}
+	// Fleet routing: a node that does not own this digest forwards it to
+	// its cache home before spending any parse or engine time here. False
+	// means solve locally — this node is an owner, the request already
+	// hopped, or peers are unreachable and local fallback applies.
+	if s.handleSolveForward(w, r, &req, key) {
 		return
 	}
 	net, lib, err := parsePayload(req.Net, req.Library)
@@ -122,6 +133,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		resp := buildResponse(net, lib, solver.Algorithm(), res, elapsed)
 		s.cache.Put(key, resp)
 		s.cacheStores.Add(1)
+		s.replicate(key, resp) // fleet write-through to the other owners
 		return resp, nil
 	})
 	if err != nil {

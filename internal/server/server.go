@@ -12,6 +12,8 @@
 //	PUT    /v1/sessions/{id}  incremental ECO session: patch + re-solve one net
 //	DELETE /v1/sessions/{id}  close an ECO session
 //	GET    /v1/algorithms     registered algorithms with descriptions
+//	GET    /v1/fleet          fleet topology + per-peer health (fleet mode)
+//	PUT    /internal/v1/cache peer-to-peer result replication (fleet mode)
 //	GET    /healthz           liveness probe
 //	GET    /readyz            readiness probe (503 while draining)
 //	GET    /metrics           expvar counters as JSON
@@ -58,6 +60,7 @@ import (
 	"time"
 
 	"bufferkit"
+	"bufferkit/internal/fleet"
 	"bufferkit/internal/resilience"
 	"bufferkit/internal/server/cache"
 )
@@ -103,6 +106,19 @@ type Config struct {
 	// SessionTTL is a session's idle lifetime; sessions untouched for
 	// longer are evicted opportunistically (0 = 10 min).
 	SessionTTL time.Duration
+	// Fleet configures the optional peer tier (see internal/fleet): with a
+	// Self URL and a multi-member peer list, single solves route to their
+	// cache home by consistent hashing, results replicate across R owners,
+	// and a failure detector reroutes around dead peers. The zero value is
+	// a plain single node. An invalid fleet config makes New panic;
+	// validate with Fleet.Validate() first when the values come from
+	// flags.
+	Fleet fleet.Config
+	// TenantQuotas enables per-tenant token-bucket shedding on the /v1
+	// endpoints, keyed by the X-Bufferkit-Tenant header. Tenants without
+	// an entry fall back to the "*" entry, or are unlimited without one.
+	// Empty = no tenant quotas.
+	TenantQuotas map[string]resilience.QuotaSpec
 }
 
 func (c *Config) fill() {
@@ -214,6 +230,17 @@ type Server struct {
 	flights      resilience.Group[cache.Key, *solveResponse]
 	yieldFlights resilience.Group[cache.Key, *yieldResponse]
 
+	// Fleet state (nil on a single node): the peer tier, its HTTP client,
+	// per-tenant quotas, and the singleflight collapsing duplicate
+	// forwards of one digest onto one peer call. Combined with
+	// digest-homed routing — every node sends digest d to the same owner,
+	// whose own flights group collapses local and forwarded callers — a
+	// digest in flight anywhere in the fleet runs on exactly one engine.
+	fleet          *fleet.Fleet
+	fleetHTTP      *http.Client
+	quotas         *resilience.TenantQuotas
+	forwardFlights resilience.Group[cache.Key, *solveResponse]
+
 	// Counters are kept on a private expvar.Map (not Publish-ed globally)
 	// so tests can run many Servers in one process; /metrics renders the
 	// map as JSON.
@@ -262,6 +289,22 @@ type Server struct {
 	sessionCacheHits *expvar.Int
 	sessionRebuilds  *expvar.Int
 	sessionRecomp    *expvar.Int
+
+	// Fleet counters: the forwarding story (forwards, collapse, hedges,
+	// fallbacks), the replication story (write-through, read-repair,
+	// replicas received), and the probe loop.
+	fleetForwards         *expvar.Int
+	fleetForwardShared    *expvar.Int
+	fleetForwardErrors    *expvar.Int
+	fleetHedges           *expvar.Int
+	fleetHedgeWins        *expvar.Int
+	fleetFallbacks        *expvar.Int
+	fleetWriteThroughs    *expvar.Int
+	fleetWriteThroughErrs *expvar.Int
+	fleetReadRepairs      *expvar.Int
+	fleetReplicasStored   *expvar.Int
+	peerProbes            *expvar.Int
+	peerProbeFailures     *expvar.Int
 }
 
 // New builds a Server from cfg (zero value = defaults).
@@ -314,6 +357,34 @@ func New(cfg Config) *Server {
 		sessionCacheHits: new(expvar.Int),
 		sessionRebuilds:  new(expvar.Int),
 		sessionRecomp:    new(expvar.Int),
+
+		quotas:                resilience.NewTenantQuotas(cfg.TenantQuotas),
+		fleetForwards:         new(expvar.Int),
+		fleetForwardShared:    new(expvar.Int),
+		fleetForwardErrors:    new(expvar.Int),
+		fleetHedges:           new(expvar.Int),
+		fleetHedgeWins:        new(expvar.Int),
+		fleetFallbacks:        new(expvar.Int),
+		fleetWriteThroughs:    new(expvar.Int),
+		fleetWriteThroughErrs: new(expvar.Int),
+		fleetReadRepairs:      new(expvar.Int),
+		fleetReplicasStored:   new(expvar.Int),
+		peerProbes:            new(expvar.Int),
+		peerProbeFailures:     new(expvar.Int),
+	}
+	if cfg.Fleet.Enabled() {
+		f, err := fleet.New(cfg.Fleet)
+		if err != nil {
+			panic("server: invalid fleet config: " + err.Error())
+		}
+		s.fleet = f
+		s.fleetHTTP = &http.Client{Transport: cfg.Fleet.Transport}
+		s.fleet.Start(s.probePeer, func(_ string, err error) {
+			s.peerProbes.Add(1)
+			if err != nil {
+				s.peerProbeFailures.Add(1)
+			}
+		})
 	}
 	s.metrics.Set("solve_requests", s.solveReqs)
 	s.metrics.Set("batch_requests", s.batchReqs)
@@ -371,7 +442,63 @@ func New(cfg Config) *Server {
 	}))
 	s.metrics.Set("uptime_seconds", expvar.Func(func() any { return time.Since(s.start).Seconds() }))
 	s.metrics.Set("go_version", expvar.Func(func() any { return runtime.Version() }))
+
+	s.metrics.Set("fleet_forwards", s.fleetForwards)
+	s.metrics.Set("fleet_forward_shared", s.fleetForwardShared)
+	s.metrics.Set("fleet_forward_errors", s.fleetForwardErrors)
+	s.metrics.Set("fleet_hedges", s.fleetHedges)
+	s.metrics.Set("fleet_hedge_wins", s.fleetHedgeWins)
+	s.metrics.Set("fleet_local_fallbacks", s.fleetFallbacks)
+	s.metrics.Set("fleet_write_throughs", s.fleetWriteThroughs)
+	s.metrics.Set("fleet_write_through_errors", s.fleetWriteThroughErrs)
+	s.metrics.Set("fleet_read_repairs", s.fleetReadRepairs)
+	s.metrics.Set("fleet_replicas_stored", s.fleetReplicasStored)
+	s.metrics.Set("peer_probes", s.peerProbes)
+	s.metrics.Set("peer_probe_failures", s.peerProbeFailures)
+	s.metrics.Set("fleet_peers", expvar.Func(func() any {
+		if s.fleet == nil {
+			return 0
+		}
+		return len(s.fleet.Members())
+	}))
+	s.metrics.Set("fleet_replicas", expvar.Func(func() any {
+		if s.fleet == nil {
+			return 0
+		}
+		return s.fleet.Config().Replicas
+	}))
+	s.metrics.Set("peer_alive", expvar.Func(func() any { return s.peerCount(0) }))
+	s.metrics.Set("peer_suspect", expvar.Func(func() any { return s.peerCount(1) }))
+	s.metrics.Set("peer_dead", expvar.Func(func() any { return s.peerCount(2) }))
+	s.metrics.Set("tenant_allowed", expvar.Func(func() any { return s.quotas.Counters().Allowed }))
+	s.metrics.Set("tenant_shed_total", expvar.Func(func() any { return s.quotas.Counters().Shed }))
+	s.metrics.Set("tenant_shed_by_tenant", expvar.Func(func() any { return s.quotas.Counters().ShedByTenant }))
 	return s
+}
+
+// peerCount returns the number of other members in the given health class
+// (0 alive, 1 suspect, 2 dead); 0 on a single node.
+func (s *Server) peerCount(class int) int {
+	if s.fleet == nil {
+		return 0
+	}
+	alive, suspect, dead := s.fleet.Detector().Counts()
+	switch class {
+	case 0:
+		return alive
+	case 1:
+		return suspect
+	}
+	return dead
+}
+
+// Close stops the fleet prober and waits for in-flight replication
+// goroutines (write-through, read-repair). Single-node servers need no
+// Close, but it is always safe to call.
+func (s *Server) Close() {
+	if s.fleet != nil {
+		s.fleet.Close()
+	}
 }
 
 // Handler returns the HTTP handler serving every endpoint, wrapped in the
@@ -385,10 +512,12 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("PUT /v1/sessions/{id}", s.handleSessionPut)
 	mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleSessionDelete)
 	mux.HandleFunc("GET /v1/algorithms", s.handleAlgorithms)
+	mux.HandleFunc("GET /v1/fleet", s.handleFleet)
+	mux.HandleFunc("PUT /internal/v1/cache", s.handleCacheReplica)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.recoverPanics(mux)
+	return s.recoverPanics(s.tenantLimit(mux))
 }
 
 // SetDraining flips drain mode: while draining, GET /readyz answers 503 so

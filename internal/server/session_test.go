@@ -4,9 +4,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
+	"math/rand"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -328,6 +331,91 @@ func TestSessionLRUEviction(t *testing.T) {
 		if rec := request(t, h, "PUT", "/v1/sessions/"+id, sessionRequest{}); rec.Code != http.StatusOK {
 			t.Fatalf("surviving session %s: %d %s", id, rec.Code, rec.Body.String())
 		}
+	}
+}
+
+// TestSessionConcurrentPutDeleteEviction hammers a small session table
+// with racing creates, patches and deletes across more ids than the LRU
+// holds, so every request contends with eviction. The invariants: no
+// request ever sees anything but 200 (served) or 404 (evicted or
+// deleted — the documented recreate signal), the table never exceeds its
+// cap, the server stays coherent afterwards, and no goroutine leaks.
+// Run under -race this doubles as the session-table race detector.
+func TestSessionConcurrentPutDeleteEviction(t *testing.T) {
+	defer checkNoGoroutineLeak(t)()
+	tr, net, lib := sessionFixture(t)
+	s := New(Config{MaxSessions: 4})
+	h := s.Handler()
+
+	sinkIdx := tr.Sinks()[0]
+	sink := vertexName(tr, sinkIdx)
+	const (
+		ids     = 8 // twice the cap: creates constantly evict
+		workers = 8
+		iters   = 25
+	)
+	var wg sync.WaitGroup
+	for w := range workers {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < iters; i++ {
+				id := fmt.Sprintf("race-%d", rng.Intn(ids))
+				var rec *httptest.ResponseRecorder
+				switch op := rng.Intn(4); op {
+				case 0: // creating PUT: always lands (may evict someone)
+					rec = request(t, h, "PUT", "/v1/sessions/"+id, sessionRequest{Net: net, Library: lib})
+					if rec.Code != http.StatusOK {
+						t.Errorf("create %s: %d %s", id, rec.Code, rec.Body.String())
+					}
+				case 1: // DELETE: ok or already gone
+					rec = request(t, h, "DELETE", "/v1/sessions/"+id, nil)
+					if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+						t.Errorf("delete %s: %d %s", id, rec.Code, rec.Body.String())
+					}
+				default: // patch PUT: ok, or 404 if evicted/deleted underneath us
+					rat, cap := 500+float64(rng.Intn(100)), 1+float64(rng.Intn(8))
+					rec = request(t, h, "PUT", "/v1/sessions/"+id, sessionRequest{Patches: []sessionPatch{
+						{Kind: "sink", Vertex: sink, RAT: &rat, Cap: &cap},
+					}})
+					if rec.Code != http.StatusOK && rec.Code != http.StatusNotFound {
+						t.Errorf("patch %s: %d %s", id, rec.Code, rec.Body.String())
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	// The table respected its cap throughout (eviction is synchronous
+	// under sessMu) and the server is still fully functional.
+	if n := metric(t, h, "sessions_active"); n > 4 {
+		t.Fatalf("sessions_active = %d after the storm, cap is 4", n)
+	}
+	rec := request(t, h, "PUT", "/v1/sessions/after", sessionRequest{Net: net, Library: lib})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("create after storm: %d %s", rec.Code, rec.Body.String())
+	}
+	rat, cap := 512.5, 4.25
+	rec = request(t, h, "PUT", "/v1/sessions/after", sessionRequest{Patches: []sessionPatch{
+		{Kind: "sink", Vertex: sink, RAT: &rat, Cap: &cap},
+	}})
+	if rec.Code != http.StatusOK {
+		t.Fatalf("patch after storm: %d %s", rec.Code, rec.Body.String())
+	}
+	var resp sessionResponse
+	decodeInto(t, rec, &resp)
+	if resp.Session.Created {
+		t.Fatalf("post-storm patch recreated the session: %+v", resp.Session)
+	}
+	// Ground truth: whatever the storm left in the result cache, the
+	// patched session must answer bit-identically to a cold solve.
+	patched := tr.Clone()
+	patched.Verts[sinkIdx].RAT = 512.5
+	patched.Verts[sinkIdx].Cap = 4.25
+	if want := coldSlack(t, patched, lib); resp.Slack != want {
+		t.Fatalf("post-storm slack %v != cold slack %v", resp.Slack, want)
 	}
 }
 
