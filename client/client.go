@@ -17,6 +17,10 @@
 //     second identical request races the first after that delay and the
 //     first response wins. Solves are idempotent and cached server-side,
 //     so hedging is safe.
+//   - W3C traceparent propagation: every request carries a traceparent
+//     header, minted once per logical call so retries, failovers and both
+//     hedge arms share a single trace id on the server side. The server's
+//     trace id comes back in SolveResult.Trace and APIError.Trace.
 //
 // See DESIGN.md §13 for the full resilience model and README.md for a
 // usage example.
@@ -36,6 +40,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"bufferkit/internal/obs"
 )
 
 // RetryPolicy shapes the backoff loop. The zero value means defaults:
@@ -158,6 +164,10 @@ type APIError struct {
 	// distinguishable from the contacted node's own deadline ("" = the
 	// node this client talked to).
 	Peer string
+	// Trace is the server-side trace id of the failed request, when the
+	// server got far enough to mint one — quote it against the server's
+	// /debug/traces ring and request-summary logs.
+	Trace string
 	// RetryAfter is the server's backoff hint on 429/503 (0 = none).
 	RetryAfter time.Duration
 }
@@ -230,6 +240,10 @@ func (c *Client) doTargets(ctx context.Context, method, path string, body []byte
 	if len(targets) == 0 {
 		targets = []*url.URL{c.base}
 	}
+	// One traceparent for the whole loop: every retry and failover carries
+	// the same trace id, so the server-side story of a flaky call is one
+	// trace, not one per attempt.
+	ctx, _ = obs.EnsureTraceparent(ctx)
 	var lastErr error
 	target := 0
 	for attempt := 0; attempt < c.retry.MaxAttempts; attempt++ {
@@ -286,6 +300,9 @@ func (c *Client) attemptAt(ctx context.Context, base *url.URL, method, path stri
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if tp := obs.TraceparentFromContext(ctx); tp != "" {
+		req.Header.Set("traceparent", tp)
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
 		return nil, err
@@ -299,12 +316,16 @@ func (c *Client) attemptAt(ctx context.Context, base *url.URL, method, path stri
 		Error string `json:"error"`
 		Field string `json:"field"`
 		Peer  string `json:"peer"`
+		Trace string `json:"trace"`
 	}
 	raw, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<20))
 	if json.Unmarshal(raw, &eb) == nil && eb.Error != "" {
-		apiErr.Message, apiErr.Field, apiErr.Peer = eb.Error, eb.Field, eb.Peer
+		apiErr.Message, apiErr.Field, apiErr.Peer, apiErr.Trace = eb.Error, eb.Field, eb.Peer, eb.Trace
 	} else {
 		apiErr.Message = strings.TrimSpace(string(raw))
+	}
+	if apiErr.Trace == "" {
+		apiErr.Trace = resp.Header.Get("X-Bufferkit-Trace")
 	}
 	if s := resp.Header.Get("Retry-After"); s != "" {
 		apiErr.RetryAfter = c.parseRetryAfter(s)
@@ -381,6 +402,7 @@ func (c *Client) Solve(ctx context.Context, req SolveRequest) (*SolveResult, err
 		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 			return nil, err
 		}
+		out.Trace = resp.Header.Get("X-Bufferkit-Trace")
 		return &out, nil
 	}
 	return c.hedgedSolve(ctx, req, targets)
@@ -391,6 +413,10 @@ func (c *Client) hedgedSolve(ctx context.Context, req SolveRequest, targets []*u
 	if err != nil {
 		return nil, err
 	}
+	// Both hedge arms carry the same traceparent (minted here, before the
+	// arms fork), so the two server-side traces share one trace id and the
+	// race is reconstructible from either node's /debug/traces.
+	ctx, _ = obs.EnsureTraceparent(ctx)
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel() // the loser is canceled on return
 	type outcome struct {
@@ -418,6 +444,7 @@ func (c *Client) hedgedSolve(ctx context.Context, req SolveRequest, targets []*u
 			results <- outcome{idx: i, err: err}
 			return
 		}
+		out.Trace = resp.Header.Get("X-Bufferkit-Trace")
 		results <- outcome{res: &out, idx: i}
 	}
 	go launch(0)

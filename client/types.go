@@ -53,6 +53,10 @@ type SolveResult struct {
 	Cached    bool    `json:"cached"`
 	Coalesced bool    `json:"coalesced,omitempty"`
 	ElapsedMs float64 `json:"elapsed_ms,omitempty"`
+	// Trace is the server's trace id for this solve, from the
+	// X-Bufferkit-Trace response header (not the JSON body) — quote it
+	// against the server's /debug/traces and request-summary logs.
+	Trace string `json:"-"`
 }
 
 // FrontierPoint is one cost–slack Pareto point (costslack).

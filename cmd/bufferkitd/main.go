@@ -9,6 +9,8 @@
 //	           [-max-queue 0] [-queue-timeout 10s] [-drain-wait 0]
 //	           [-self URL -peers URL,URL,... [-replicas 2]]
 //	           [-tenant-quotas "acme=50:100,*=10"]
+//	           [-log-format text|json] [-log-level info] [-slow-threshold 1s]
+//	           [-trace-ring 256] [-pprof-addr ""]
 //
 // Every flag also reads a BUFFERKITD_* environment variable (flag name
 // upper-snake-cased: -max-queue → BUFFERKITD_MAX_QUEUE). An explicit
@@ -32,7 +34,15 @@
 //	PUT  /internal/v1/cache peer-to-peer result replication
 //	GET  /healthz       liveness probe
 //	GET  /readyz        readiness probe (503 while draining)
-//	GET  /metrics       expvar counters as JSON
+//	GET  /metrics       expvar counters as JSON (Prometheus text format
+//	                    with Accept: text/plain or ?format=prom)
+//	GET  /debug/traces  recent request traces (JSON, ?min_ms= filter)
+//
+// Observability: every request gets a trace (W3C traceparent in, trace id
+// back in X-Bufferkit-Trace) and one structured request-summary log line;
+// requests slower than -slow-threshold log at WARN. -pprof-addr serves
+// net/http/pprof on a separate listener, so profiling endpoints are never
+// exposed on the service port. See README.md "Observing bufferkitd".
 //
 // SIGINT/SIGTERM drain gracefully in load-balancer-safe order: /readyz
 // flips to 503 first, the process keeps accepting for -drain-wait so
@@ -45,9 +55,10 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -60,12 +71,14 @@ import (
 )
 
 // options is everything parseFlags decides: the listen address, the
-// server config, and the two shutdown knobs.
+// server config, the shutdown knobs, and the optional pprof listener.
 type options struct {
 	addr      string
 	cfg       server.Config
 	grace     time.Duration
 	drainWait time.Duration
+	pprofAddr string
+	logger    *slog.Logger
 }
 
 // parseFlags builds the daemon's options from argv and the environment.
@@ -97,6 +110,12 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 		hedgeAfter     = fs.Duration("hedge-after", 0, "delay before hedging a forwarded solve to the replica (0 = 30ms)")
 		forwardTimeout = fs.Duration("forward-timeout", 0, "cap on one forwarded attempt's sub-deadline (0 = 5s)")
 		tenantQuotas   = fs.String("tenant-quotas", "", `per-tenant rate[:burst] quotas keyed by X-Bufferkit-Tenant, "*" for the default bucket (e.g. "acme=50:100,*=10"; empty = unlimited)`)
+
+		logFormat     = fs.String("log-format", "text", "structured log encoding: text or json")
+		logLevel      = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+		slowThreshold = fs.Duration("slow-threshold", 0, "log requests at least this slow as WARN \"slow request\" lines (0 = 1s, negative = disable)")
+		traceRing     = fs.Int("trace-ring", 0, "completed request traces retained for GET /debug/traces (0 = 256, negative = disable tracing)")
+		pprofAddr     = fs.String("pprof-addr", "", "listen address for net/http/pprof on a separate server (empty = disabled)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return nil, err
@@ -121,6 +140,10 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 	if envErr != nil {
 		return nil, envErr
 	}
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		return nil, err
+	}
 	cfg := server.Config{
 		MaxConcurrent:   *concurrency,
 		CacheEntries:    *cacheSize,
@@ -134,6 +157,9 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 		QueueTimeout:    *queueTimeout,
 		MaxSessions:     *maxSessions,
 		SessionTTL:      *sessionTTL,
+		Logger:          logger,
+		SlowThreshold:   *slowThreshold,
+		TraceRing:       *traceRing,
 	}
 	if *peers != "" {
 		cfg.Fleet = fleet.Config{
@@ -162,7 +188,26 @@ func parseFlags(args []string, getenv func(string) string) (*options, error) {
 		cfg:       cfg,
 		grace:     *grace,
 		drainWait: *drainWait,
+		pprofAddr: *pprofAddr,
+		logger:    logger,
 	}, nil
+}
+
+// buildLogger assembles the daemon's slog.Logger on stderr from the
+// -log-format and -log-level flags.
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("-log-level %q: want debug, info, warn or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return nil, fmt.Errorf("-log-format %q: want text or json", format)
 }
 
 // splitPeers parses the comma-separated -peers list, trimming whitespace
@@ -201,6 +246,10 @@ func main() {
 // grace period. listening, when non-nil, receives the bound address once
 // the listener is up (used by tests binding :0).
 func run(ctx context.Context, opts *options, listening ...chan<- string) error {
+	logger := opts.logger
+	if logger == nil {
+		logger = slog.New(slog.DiscardHandler)
+	}
 	ln, err := net.Listen("tcp", opts.addr)
 	if err != nil {
 		return err
@@ -211,7 +260,15 @@ func run(ctx context.Context, opts *options, listening ...chan<- string) error {
 		Handler:           s.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Printf("bufferkitd: listening on %s", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
+	if opts.pprofAddr != "" {
+		stopPprof, _, err := servePprof(opts.pprofAddr, logger)
+		if err != nil {
+			ln.Close()
+			return err
+		}
+		defer stopPprof()
+	}
 	for _, ch := range listening {
 		ch <- ln.Addr().String()
 	}
@@ -224,8 +281,7 @@ func run(ctx context.Context, opts *options, listening ...chan<- string) error {
 	case <-ctx.Done():
 	}
 	s.SetDraining(true)
-	log.Printf("bufferkitd: draining (readyz 503, closing listener in %s, grace %s)",
-		opts.drainWait, opts.grace)
+	logger.Info("draining", "readyz", 503, "drain_wait", opts.drainWait.String(), "grace", opts.grace.String())
 	if opts.drainWait > 0 {
 		time.Sleep(opts.drainWait)
 	}
@@ -237,6 +293,31 @@ func run(ctx context.Context, opts *options, listening ...chan<- string) error {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	log.Printf("bufferkitd: drained")
+	logger.Info("drained")
 	return nil
+}
+
+// servePprof starts the opt-in net/http/pprof server on its own listener
+// — profiling endpoints stay off the service port so an exposed API never
+// leaks heap dumps. It returns a stop function that closes the listener
+// and the bound address (so callers binding :0 can find the port).
+func servePprof(addr string, logger *slog.Logger) (func(), string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("pprof listen: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	logger.Info("pprof listening", "addr", ln.Addr().String())
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			logger.Error("pprof server failed", "err", err)
+		}
+	}()
+	return func() { srv.Close() }, ln.Addr().String(), nil
 }

@@ -3,10 +3,13 @@ package main
 import (
 	"context"
 	"io"
+	"log/slog"
 	"net/http"
 	"strings"
 	"testing"
 	"time"
+
+	"bufferkit/internal/testutil"
 )
 
 func noEnv(string) string { return "" }
@@ -165,6 +168,123 @@ func TestParseFlagsFleetBad(t *testing.T) {
 	}
 }
 
+// TestParseFlagsObs: the observability flags land in the server config
+// and the daemon options — format/level build the slog.Logger, the
+// slow-request threshold and trace-ring size pass through, and
+// -pprof-addr stays on the options (it is a separate listener, not a
+// server.Config knob).
+func TestParseFlagsObs(t *testing.T) {
+	opts, err := parseFlags([]string{
+		"-log-format", "json",
+		"-log-level", "debug",
+		"-slow-threshold", "250ms",
+		"-trace-ring", "64",
+		"-pprof-addr", "127.0.0.1:0",
+	}, noEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opts.logger == nil || opts.cfg.Logger != opts.logger {
+		t.Fatal("logger not built or not threaded into server.Config")
+	}
+	if _, ok := opts.logger.Handler().(*slog.JSONHandler); !ok {
+		t.Errorf("-log-format json built %T", opts.logger.Handler())
+	}
+	if !opts.logger.Enabled(context.Background(), slog.LevelDebug) {
+		t.Error("-log-level debug not applied")
+	}
+	if opts.cfg.SlowThreshold != 250*time.Millisecond {
+		t.Errorf("SlowThreshold = %s", opts.cfg.SlowThreshold)
+	}
+	if opts.cfg.TraceRing != 64 {
+		t.Errorf("TraceRing = %d", opts.cfg.TraceRing)
+	}
+	if opts.pprofAddr != "127.0.0.1:0" {
+		t.Errorf("pprofAddr = %q", opts.pprofAddr)
+	}
+}
+
+// TestParseFlagsObsDefaults: without flags the daemon logs text at info
+// and leaves the zero values the server turns into its own defaults
+// (trace ring 256, slow threshold 1s); pprof stays disabled.
+func TestParseFlagsObsDefaults(t *testing.T) {
+	opts, err := parseFlags(nil, noEnv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := opts.logger.Handler().(*slog.TextHandler); !ok {
+		t.Errorf("default log format built %T, want text", opts.logger.Handler())
+	}
+	ctx := context.Background()
+	if !opts.logger.Enabled(ctx, slog.LevelInfo) || opts.logger.Enabled(ctx, slog.LevelDebug) {
+		t.Error("default log level is not info")
+	}
+	if opts.cfg.TraceRing != 0 || opts.cfg.SlowThreshold != 0 {
+		t.Errorf("obs defaults = ring %d, slow %s (want zero values, the server picks the real defaults)",
+			opts.cfg.TraceRing, opts.cfg.SlowThreshold)
+	}
+	if opts.pprofAddr != "" {
+		t.Errorf("pprofAddr = %q, want disabled by default", opts.pprofAddr)
+	}
+}
+
+// TestParseFlagsObsEnv: the observability knobs read BUFFERKITD_* like
+// every other flag.
+func TestParseFlagsObsEnv(t *testing.T) {
+	opts, err := parseFlags(nil, env(map[string]string{
+		"BUFFERKITD_LOG_FORMAT":     "json",
+		"BUFFERKITD_LOG_LEVEL":      "warn",
+		"BUFFERKITD_SLOW_THRESHOLD": "2s",
+		"BUFFERKITD_TRACE_RING":     "-1",
+		"BUFFERKITD_PPROF_ADDR":     "127.0.0.1:6060",
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := opts.logger.Handler().(*slog.JSONHandler); !ok {
+		t.Errorf("BUFFERKITD_LOG_FORMAT built %T", opts.logger.Handler())
+	}
+	ctx := context.Background()
+	if !opts.logger.Enabled(ctx, slog.LevelWarn) || opts.logger.Enabled(ctx, slog.LevelInfo) {
+		t.Error("BUFFERKITD_LOG_LEVEL=warn not applied")
+	}
+	if opts.cfg.SlowThreshold != 2*time.Second || opts.cfg.TraceRing != -1 {
+		t.Errorf("obs env fallback not applied: slow %s, ring %d",
+			opts.cfg.SlowThreshold, opts.cfg.TraceRing)
+	}
+	if opts.pprofAddr != "127.0.0.1:6060" {
+		t.Errorf("pprofAddr = %q", opts.pprofAddr)
+	}
+}
+
+// TestParseFlagsObsBad: malformed observability values are startup
+// errors that name the offending knob.
+func TestParseFlagsObsBad(t *testing.T) {
+	for _, tc := range []struct {
+		args []string
+		want string
+	}{
+		{[]string{"-log-format", "xml"}, "-log-format"},
+		{[]string{"-log-level", "loud"}, "-log-level"},
+	} {
+		_, err := parseFlags(tc.args, noEnv)
+		if err == nil {
+			t.Errorf("parseFlags(%v) accepted", tc.args)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("parseFlags(%v) error %q does not name %s", tc.args, err, tc.want)
+		}
+	}
+	if _, err := parseFlags(nil, env(map[string]string{
+		"BUFFERKITD_TRACE_RING": "ten",
+	})); err == nil {
+		t.Error("bad BUFFERKITD_TRACE_RING accepted")
+	} else if !strings.Contains(err.Error(), "BUFFERKITD_TRACE_RING") {
+		t.Errorf("env error does not name the variable: %v", err)
+	}
+}
+
 func TestParseFlagsBadValues(t *testing.T) {
 	if _, err := parseFlags([]string{"-concurrency", "lots"}, noEnv); err == nil {
 		t.Error("bad flag value accepted")
@@ -289,5 +409,97 @@ func TestRunBadAddr(t *testing.T) {
 	err := run(context.Background(), &options{addr: "256.256.256.256:1", grace: time.Second})
 	if err == nil {
 		t.Fatal("expected listen error")
+	}
+}
+
+// TestServePprof: the -pprof-addr listener serves the profiling index on
+// its own port, and stopping it closes the listener.
+func TestServePprof(t *testing.T) {
+	stop, addr, err := servePprof("127.0.0.1:0", slog.New(slog.DiscardHandler))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if code, body := get(t, "http://"+addr+"/debug/pprof/"); code != http.StatusOK ||
+		!strings.Contains(body, "goroutine") {
+		t.Fatalf("pprof index = %d %q", code, body)
+	}
+	stop()
+	if _, err := http.Get("http://" + addr + "/debug/pprof/"); err == nil {
+		t.Error("pprof listener still serving after stop")
+	}
+}
+
+// TestRunPprofOffServicePort: profiling endpoints never ride the service
+// listener — with or without -pprof-addr, the API port answers 404 for
+// /debug/pprof/. The pprof server itself is exercised by TestServePprof;
+// here run() boots with a pprof listener to cover the startup/teardown
+// path end to end.
+func TestRunPprofOffServicePort(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done := startRun(t, ctx, &options{
+		addr:      "127.0.0.1:0",
+		grace:     5 * time.Second,
+		pprofAddr: "127.0.0.1:0",
+	})
+	if code, _ := get(t, "http://"+addr+"/debug/pprof/"); code != http.StatusNotFound {
+		t.Fatalf("service port serves /debug/pprof/ (status %d)", code)
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("run returned %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain with a pprof listener attached")
+	}
+}
+
+// TestRunBadPprofAddr: an unbindable -pprof-addr is a startup error, and
+// the service listener it raced with is released.
+func TestRunBadPprofAddr(t *testing.T) {
+	err := run(context.Background(), &options{
+		addr:      "127.0.0.1:0",
+		grace:     time.Second,
+		pprofAddr: "256.256.256.256:1",
+	})
+	if err == nil || !strings.Contains(err.Error(), "pprof") {
+		t.Fatalf("err = %v, want pprof listen error", err)
+	}
+}
+
+// TestRunMetricsProm: the daemon's /metrics endpoint negotiates the
+// Prometheus text format on Accept: text/plain, and the exposition parses
+// under the strict validator — the same check CI's curl smoke performs.
+func TestRunMetricsProm(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	addr, done := startRun(t, ctx, &options{addr: "127.0.0.1:0", grace: 5 * time.Second})
+	defer func() { cancel(); <-done }()
+
+	req, err := http.NewRequest("GET", "http://"+addr+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", "text/plain")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics = %d %q", resp.StatusCode, body)
+	}
+	pm, err := testutil.ParseProm(string(body))
+	if err != nil {
+		t.Fatalf("prometheus exposition does not validate: %v", err)
+	}
+	if pm.Types["solve_latency_ms"] != "histogram" {
+		t.Errorf("solve_latency_ms type = %q", pm.Types["solve_latency_ms"])
+	}
+	if _, ok := pm.Samples["traces_total"]; !ok {
+		t.Error("traces_total missing from exposition")
 	}
 }

@@ -52,6 +52,8 @@ func TestBenchJSONOutput(t *testing.T) {
 		"yield/samples=16",
 		"yield/samples=64",
 		"yield/samples=64/robust",
+		"obs/trace=on",
+		"obs/trace=off",
 		"batch/w1",
 		"batch/w8",
 	}

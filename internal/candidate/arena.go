@@ -1,5 +1,7 @@
 package candidate
 
+import "unsafe"
+
 // DecRef is an index-linked reference to a decision record inside an Arena.
 // The zero value is the nil reference: it refers to no decision and fills
 // nothing. References are only meaningful against the arena that issued them
@@ -92,6 +94,25 @@ func (ar *Arena) Reset() {
 
 // NumDecisions returns the number of live decision records.
 func (ar *Arena) NumDecisions() int { return ar.nDec }
+
+// Bytes reports the slab memory the arena currently retains — decision,
+// node and list slabs plus the SoA headers' retained column capacity.
+// Slabs survive Reset by design, so this is the engine's steady-state
+// working-set footprint, not the live-object count of one run.
+func (ar *Arena) Bytes() int {
+	b := len(ar.dec) * decSlabSize * int(unsafe.Sizeof(decRecord{}))
+	b += len(ar.nodes) * nodeSlabSize * int(unsafe.Sizeof(Node{}))
+	b += len(ar.lists) * listSlabSize * int(unsafe.Sizeof(List{}))
+	b += len(ar.soa) * listSlabSize * int(unsafe.Sizeof(SoAList{}))
+	for _, slab := range ar.soa {
+		for i := range slab {
+			l := &slab[i]
+			b += (cap(l.q) + cap(l.c) + cap(l.q2) + cap(l.c2)) * 8
+			b += (cap(l.dec) + cap(l.dec2)) * int(unsafe.Sizeof(DecRef(0)))
+		}
+	}
+	return b
+}
 
 // alloc appends one record and returns its reference. Index i lives at
 // slab i>>decSlabBits, offset i&decSlabMask; the returned ref is i+1 so that

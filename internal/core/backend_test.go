@@ -69,7 +69,7 @@ func TestBackendsAgreeExactly(t *testing.T) {
 					t.Fatalf("%s/%v: placements differ at vertex %d", inst.name, prune, v)
 				}
 			}
-			if soa.Stats != list.Stats {
+			if !soa.Stats.SameCounters(list.Stats) {
 				t.Fatalf("%s/%v: stats differ:\nsoa  %+v\nlist %+v", inst.name, prune, soa.Stats, list.Stats)
 			}
 		}
@@ -95,7 +95,7 @@ func TestBackendStatsParity(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if list.Stats != soa.Stats {
+	if !list.Stats.SameCounters(soa.Stats) {
 		t.Fatalf("stats differ between backends:\nlist %+v\nsoa  %+v", list.Stats, soa.Stats)
 	}
 	if list.Stats.MaxListLen == 0 || list.Stats.HullPruned == 0 || list.Stats.BetasGenerated == 0 || list.Stats.BetasKept == 0 {

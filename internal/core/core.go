@@ -140,6 +140,18 @@ type Stats struct {
 	// Decisions is the number of reconstruction records the arena holds at
 	// the end of the run.
 	Decisions int
+	// ArenaBytes is the slab memory the engine's arena retains after the
+	// run — the warm working-set footprint (slabs survive Reset).
+	ArenaBytes int
+}
+
+// SameCounters reports whether two runs performed identical DP work:
+// every counter equal, ignoring ArenaBytes — the footprint depends on
+// backend element sizes and slab warmth, not on the work performed, so
+// the backend-parity contract excludes it.
+func (s Stats) SameCounters(o Stats) bool {
+	s.ArenaBytes, o.ArenaBytes = 0, 0
+	return s == o
 }
 
 // Result is the outcome of a run.

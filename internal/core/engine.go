@@ -159,6 +159,7 @@ func (e *engine[L, A]) runContext(ctx context.Context, res *Result) error {
 		return solvererr.Infeasible("core: no polarity-feasible solution at the source")
 	}
 	e.stats.Decisions = e.arena.NumDecisions()
+	e.stats.ArenaBytes = e.arena.Bytes()
 
 	res.Placement = res.Placement.Reuse(e.t.Len())
 	res.Candidates = root.Len()
@@ -273,6 +274,7 @@ func (e *engine[L, A]) resolveRetained(ctx context.Context, res *Result, dirty [
 		return recomputed, solvererr.Infeasible("core: no polarity-feasible solution at the source")
 	}
 	e.stats.Decisions = e.arena.NumDecisions()
+	e.stats.ArenaBytes = e.arena.Bytes()
 
 	res.Placement = res.Placement.Reuse(e.t.Len())
 	res.Candidates = root.Len()

@@ -1,10 +1,14 @@
 package experiments
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
 	"testing"
 	"time"
@@ -13,6 +17,7 @@ import (
 	"bufferkit/internal/core"
 	"bufferkit/internal/library"
 	"bufferkit/internal/netgen"
+	"bufferkit/internal/server"
 	"bufferkit/internal/tree"
 )
 
@@ -355,6 +360,45 @@ func BenchJSON(cfg Config, w io.Writer) error {
 		}))
 		report.Results[len(report.Results)-1].RoundsToFeasible = len(warm.Rounds)
 		solver.Close()
+	}
+
+	// Observability-overhead series: the full uncached /v1/solve request
+	// path through the HTTP handler — JSON decode, net/library parse, warm
+	// pooled engine run, JSON encode — once with tracing plus a JSON
+	// request-summary log line (trace=on) and once with the span recorder
+	// disabled entirely (trace=off). This pair is the committed trajectory
+	// behind the 2% observability budget and mirrors the root
+	// BenchmarkServerSolveObs / BenchmarkServerSolveNoObs guard.
+	var netBuf, libBuf bytes.Buffer
+	if err := bufferkit.WriteNet(&netBuf, &bufferkit.Net{Name: "obsbench", Tree: t, Driver: Driver}); err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	if err := bufferkit.WriteLibrary(&libBuf, lib); err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	solveBody, err := json.Marshal(map[string]string{"net": netBuf.String(), "library": libBuf.String()})
+	if err != nil {
+		return fmt.Errorf("bench-json: %w", err)
+	}
+	for _, oc := range []struct {
+		name string
+		cfg  server.Config
+	}{
+		{"obs/trace=on", server.Config{CacheEntries: -1, Logger: slog.New(slog.NewJSONHandler(io.Discard, nil))}},
+		{"obs/trace=off", server.Config{CacheEntries: -1, TraceRing: -1}},
+	} {
+		h := server.New(oc.cfg).Handler()
+		add(oc.name, 1, testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				req := httptest.NewRequest("POST", "/v1/solve", bytes.NewReader(solveBody))
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, req)
+				if rec.Code != http.StatusOK {
+					b.Fatalf("solve status %d: %s", rec.Code, rec.Body.String())
+				}
+			}
+		}))
 	}
 
 	nets := BatchWorkload(256)

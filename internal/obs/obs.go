@@ -1,0 +1,663 @@
+// Package obs is bufferkitd's request-scoped observability layer: a
+// lightweight span recorder with W3C traceparent propagation, a bounded
+// in-memory ring of completed traces (served at GET /debug/traces), a
+// structured request-summary log line per request via log/slog, and an
+// expvar→Prometheus text-format bridge (prom.go).
+//
+// The design deliberately avoids an OpenTelemetry dependency: bufferkitd
+// needs exactly four things — follow one request through its stages
+// (quota → admission → cache → singleflight → forward/hedge → engine →
+// encode), correlate the hops of a fleet forward under one trace id, find
+// the slow requests, and scrape counters — and a ~500-line recorder
+// delivers them with no new modules and near-zero overhead.
+//
+// Everything is nil-safe: a nil *Recorder produces nil *Trace values whose
+// methods are all no-ops, so call sites never guard on "is tracing on".
+// Span identity follows the W3C Trace Context model (16-byte trace id,
+// 8-byte span ids); a request arriving with a valid `traceparent` header
+// joins the caller's trace, which is how a solve forwarded across the
+// fleet shows up as one trace spanning origin and home.
+package obs
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"log/slog"
+	"math/rand/v2"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// TraceID is a W3C Trace Context trace id (16 bytes, hex on the wire).
+type TraceID [16]byte
+
+// SpanID is a W3C Trace Context span/parent id (8 bytes, hex on the wire).
+type SpanID [8]byte
+
+// IsZero reports the invalid all-zero id.
+func (id TraceID) IsZero() bool { return id == TraceID{} }
+
+// IsZero reports the invalid all-zero id.
+func (id SpanID) IsZero() bool { return id == SpanID{} }
+
+// String renders the id as 32 lowercase hex characters.
+func (id TraceID) String() string { return hex.EncodeToString(id[:]) }
+
+// String renders the id as 16 lowercase hex characters.
+func (id SpanID) String() string { return hex.EncodeToString(id[:]) }
+
+// NewTraceID returns a random non-zero trace id. math/rand/v2's global
+// generator is goroutine-safe and plenty for correlation ids — tracing
+// needs uniqueness, not unpredictability.
+func NewTraceID() TraceID {
+	var id TraceID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:8], rand.Uint64())
+		binary.BigEndian.PutUint64(id[8:], rand.Uint64())
+	}
+	return id
+}
+
+// NewSpanID returns a random non-zero span id.
+func NewSpanID() SpanID {
+	var id SpanID
+	for id.IsZero() {
+		binary.BigEndian.PutUint64(id[:], rand.Uint64())
+	}
+	return id
+}
+
+// FormatTraceparent renders a version-00 W3C traceparent header value:
+// 00-<32 hex trace id>-<16 hex parent span id>-01 (sampled flag always
+// set — bufferkit records every request).
+func FormatTraceparent(t TraceID, s SpanID) string {
+	var b [55]byte
+	b[0], b[1], b[2] = '0', '0', '-'
+	hex.Encode(b[3:35], t[:])
+	b[35] = '-'
+	hex.Encode(b[36:52], s[:])
+	b[52], b[53], b[54] = '-', '0', '1'
+	return string(b[:])
+}
+
+// ParseTraceparent decodes a traceparent header value. Per the W3C spec a
+// receiver accepts any known-length version except the reserved "ff", and
+// rejects all-zero trace or parent ids. ok is false on anything malformed
+// — the caller then starts a fresh trace.
+func ParseTraceparent(s string) (t TraceID, parent SpanID, ok bool) {
+	parts := strings.Split(s, "-")
+	if len(parts) < 4 || len(parts[0]) != 2 || parts[0] == "ff" ||
+		len(parts[1]) != 32 || len(parts[2]) != 16 || len(parts[3]) != 2 {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(t[:], []byte(parts[1])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if _, err := hex.Decode(parent[:], []byte(parts[2])); err != nil {
+		return TraceID{}, SpanID{}, false
+	}
+	if t.IsZero() || parent.IsZero() {
+		return TraceID{}, SpanID{}, false
+	}
+	return t, parent, true
+}
+
+// NewTraceparent returns a fresh traceparent value for an outgoing request
+// that is not part of an existing trace (the client's entry point).
+func NewTraceparent() string { return FormatTraceparent(NewTraceID(), NewSpanID()) }
+
+// Attr is one span or trace annotation. Values must be JSON-marshalable;
+// in practice they are strings, ints, floats and bools.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// span is one recorded stage of a trace. Offsets are relative to the trace
+// start so a JSON snapshot needs no per-span wall-clock.
+type span struct {
+	name   string
+	id     SpanID
+	parent SpanID
+	start  time.Duration // offset from trace start
+	dur    time.Duration
+	open   bool
+	attrs  []Attr
+}
+
+// Trace is one request's span collection. It is created by
+// Recorder.StartTrace, carried in the request context, annotated by the
+// handler stages, and Finished by the instrumentation middleware. All
+// methods are safe on a nil receiver (tracing disabled) and safe for
+// concurrent use (hedge arms record spans in parallel).
+type Trace struct {
+	rec          *Recorder
+	id           TraceID
+	remoteParent SpanID // non-zero when this request joined a caller's trace
+	start        time.Time
+
+	mu     sync.Mutex
+	name   string
+	status int
+	dur    time.Duration
+	done   bool
+	spans  []span // spans[0] is the root span
+	attrs  []Attr // root annotations, folded into the summary log line
+}
+
+// SpanRef addresses one open span of a trace; the zero value is a no-op.
+// It is a value type so starting a span allocates nothing beyond the
+// span record itself.
+type SpanRef struct {
+	tr    *Trace
+	idx   int
+	start time.Time
+}
+
+// TraceID returns the trace id as hex, or "" on a nil trace.
+func (tr *Trace) TraceID() string {
+	if tr == nil {
+		return ""
+	}
+	return tr.id.String()
+}
+
+// Traceparent renders the header value downstream hops should carry: this
+// trace's id with the root span as parent. "" on a nil trace.
+func (tr *Trace) Traceparent() string {
+	if tr == nil {
+		return ""
+	}
+	tr.mu.Lock()
+	root := tr.spans[0].id
+	tr.mu.Unlock()
+	return FormatTraceparent(tr.id, root)
+}
+
+// Set attaches a root-level annotation (tenant, digest, cached/forwarded
+// flags...); root annotations appear in the request-summary log line and
+// in /debug/traces.
+func (tr *Trace) Set(key string, value any) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	tr.attrs = append(tr.attrs, Attr{key, value})
+	tr.mu.Unlock()
+}
+
+// StartSpan opens a child span of the root. End it with SpanRef.End; a
+// span never Ended reports zero duration but still appears in the trace.
+func (tr *Trace) StartSpan(name string) SpanRef {
+	if tr == nil {
+		return SpanRef{}
+	}
+	now := time.Now()
+	tr.mu.Lock()
+	idx := len(tr.spans)
+	tr.spans = append(tr.spans, span{
+		name:   name,
+		id:     NewSpanID(),
+		parent: tr.spans[0].id,
+		start:  now.Sub(tr.start),
+		open:   true,
+	})
+	tr.mu.Unlock()
+	return SpanRef{tr: tr, idx: idx, start: now}
+}
+
+// End closes the span with its measured duration.
+func (s SpanRef) End() {
+	if s.tr == nil {
+		return
+	}
+	d := time.Since(s.start)
+	s.tr.mu.Lock()
+	sp := &s.tr.spans[s.idx]
+	if sp.open {
+		sp.dur, sp.open = d, false
+	}
+	s.tr.mu.Unlock()
+}
+
+// Set attaches an annotation to the span.
+func (s SpanRef) Set(key string, value any) {
+	if s.tr == nil {
+		return
+	}
+	s.tr.mu.Lock()
+	sp := &s.tr.spans[s.idx]
+	sp.attrs = append(sp.attrs, Attr{key, value})
+	s.tr.mu.Unlock()
+}
+
+// SpanID returns the span's id as hex, or "" for the zero SpanRef.
+func (s SpanRef) SpanID() string {
+	if s.tr == nil {
+		return ""
+	}
+	s.tr.mu.Lock()
+	id := s.tr.spans[s.idx].id
+	s.tr.mu.Unlock()
+	return id.String()
+}
+
+// Finish seals the trace with the response status, pushes it into the
+// recorder's ring, and emits the request-summary log line (at Warn with a
+// "slow request" message when the duration crosses the recorder's slow
+// threshold). Idempotent; only the first call records.
+func (tr *Trace) Finish(status int) {
+	if tr == nil {
+		return
+	}
+	tr.mu.Lock()
+	if tr.done {
+		tr.mu.Unlock()
+		return
+	}
+	tr.done = true
+	tr.status = status
+	tr.dur = time.Since(tr.start)
+	tr.spans[0].dur = tr.dur
+	tr.spans[0].open = false
+	tr.mu.Unlock()
+	tr.rec.finish(tr)
+}
+
+// Options parameterizes a Recorder. The zero value is usable: a 256-trace
+// ring, a 1 s slow threshold, and a discarded log stream.
+type Options struct {
+	// Logger receives the per-request summary lines and slow-request
+	// warnings (nil = slog.DiscardHandler).
+	Logger *slog.Logger
+	// SlowThreshold marks requests at least this slow as "slow request"
+	// warnings (0 = 1 s, negative = slow logging disabled).
+	SlowThreshold time.Duration
+	// RingSize bounds the completed traces retained for /debug/traces
+	// (0 = 256).
+	RingSize int
+}
+
+// archived is one completed trace in the ring: its duration (for the
+// min_ms filter) and the pre-rendered TraceJSON bytes. Traces are
+// rendered once at Finish so the ring retains flat byte slices instead of
+// live *Trace graphs — a ring of hundreds of small pointer-bearing
+// objects (spans, attr slices, boxed values) taxes every GC mark phase of
+// a busy server, while opaque bytes cost the collector only a header.
+type archived struct {
+	dur  time.Duration
+	data []byte
+}
+
+// Recorder collects completed traces in a bounded ring and owns the
+// request-summary log stream. A nil *Recorder is a valid "tracing off"
+// recorder: StartTrace returns nil and every downstream call no-ops.
+type Recorder struct {
+	log  *slog.Logger
+	slow time.Duration
+
+	mu        sync.Mutex
+	ring      []archived // circular, zero until written
+	next      int
+	total     uint64
+	slowTotal uint64
+}
+
+// NewRecorder builds a Recorder from opts.
+func NewRecorder(opts Options) *Recorder {
+	if opts.Logger == nil {
+		opts.Logger = slog.New(slog.DiscardHandler)
+	}
+	if opts.SlowThreshold == 0 {
+		opts.SlowThreshold = time.Second
+	}
+	if opts.RingSize <= 0 {
+		opts.RingSize = 256
+	}
+	return &Recorder{
+		log:  opts.Logger,
+		slow: opts.SlowThreshold,
+		ring: make([]archived, opts.RingSize),
+	}
+}
+
+// Logger returns the recorder's log stream (never nil on a non-nil
+// recorder), for operational lines that should share the request stream.
+func (r *Recorder) Logger() *slog.Logger {
+	if r == nil {
+		return slog.New(slog.DiscardHandler)
+	}
+	return r.log
+}
+
+// StartTrace begins a trace named after the request (e.g. "POST
+// /v1/solve"). remote is the incoming traceparent header value; when
+// valid, the new trace joins the remote trace id with the remote span as
+// the root's parent — the fleet-forward correlation path. Returns nil on
+// a nil recorder.
+func (r *Recorder) StartTrace(name, remote string) *Trace {
+	if r == nil {
+		return nil
+	}
+	tr := &Trace{rec: r, start: time.Now(), name: name}
+	if t, parent, ok := ParseTraceparent(remote); ok {
+		tr.id, tr.remoteParent = t, parent
+	} else {
+		tr.id = NewTraceID()
+	}
+	tr.spans = make([]span, 1, 8)
+	tr.spans[0] = span{name: name, id: NewSpanID(), parent: tr.remoteParent, open: true}
+	return tr
+}
+
+// finish archives a sealed trace and logs its summary line.
+func (r *Recorder) finish(tr *Trace) {
+	slow := r.slow > 0 && tr.dur >= r.slow
+	data := renderTrace(tr)
+	r.mu.Lock()
+	r.ring[r.next] = archived{dur: tr.dur, data: data}
+	r.next = (r.next + 1) % len(r.ring)
+	r.total++
+	if slow {
+		r.slowTotal++
+	}
+	r.mu.Unlock()
+
+	msg, level := "request", slog.LevelInfo
+	if slow {
+		msg, level = "slow request", slog.LevelWarn
+	}
+	if !r.log.Enabled(context.Background(), level) {
+		return // skip the whole line construction, not just the write
+	}
+	tr.mu.Lock()
+	stages := stageString(tr.spans)
+	attrs := make([]slog.Attr, 0, len(tr.attrs)+5)
+	attrs = append(attrs,
+		slog.String("trace", tr.id.String()),
+		slog.String("req", tr.name),
+		slog.Int("status", tr.status),
+		slog.Float64("dur_ms", float64(tr.dur)/float64(time.Millisecond)),
+	)
+	for _, a := range tr.attrs {
+		attrs = append(attrs, slog.Any(a.Key, a.Value))
+	}
+	if stages != "" {
+		attrs = append(attrs, slog.String("stages", stages))
+	}
+	tr.mu.Unlock()
+	r.log.LogAttrs(context.Background(), level, msg, attrs...)
+}
+
+// stageString compacts the closed child spans into "name:1.2ms name:0.1ms"
+// for the summary line. Called with tr.mu held.
+func stageString(spans []span) string {
+	var b strings.Builder
+	for i := 1; i < len(spans); i++ {
+		if spans[i].open {
+			continue
+		}
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		b.WriteString(spans[i].name)
+		b.WriteByte(':')
+		b.WriteString(formatMS(spans[i].dur))
+	}
+	return b.String()
+}
+
+// formatMS renders a duration as fractional milliseconds with fixed
+// microsecond precision, without fmt (the summary line is per-request).
+func formatMS(d time.Duration) string {
+	us := d.Microseconds()
+	var buf [24]byte
+	b := appendInt(buf[:0], us/1000)
+	b = append(b, '.')
+	frac := us % 1000
+	b = append(b, byte('0'+frac/100), byte('0'+frac/10%10), byte('0'+frac%10), 'm', 's')
+	return string(b)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v < 0 {
+		b = append(b, '-')
+		v = -v
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	return append(b, tmp[i:]...)
+}
+
+// Totals reports how many traces have completed and how many crossed the
+// slow threshold — the traces_total / slow_requests_total gauges.
+func (r *Recorder) Totals() (total, slow uint64) {
+	if r == nil {
+		return 0, 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total, r.slowTotal
+}
+
+// TraceJSON is the wire shape of one completed trace in GET /debug/traces.
+type TraceJSON struct {
+	Trace      string         `json:"trace"`
+	Name       string         `json:"name"`
+	Start      time.Time      `json:"start"`
+	DurationMS float64        `json:"duration_ms"`
+	Status     int            `json:"status"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+	Spans      []SpanJSON     `json:"spans"`
+}
+
+// SpanJSON is one span of a TraceJSON.
+type SpanJSON struct {
+	Name       string         `json:"name"`
+	Span       string         `json:"span"`
+	Parent     string         `json:"parent,omitempty"`
+	StartMS    float64        `json:"start_ms"`
+	DurationMS float64        `json:"duration_ms"`
+	Attrs      map[string]any `json:"attrs,omitempty"`
+}
+
+// renderTrace marshals one sealed trace into its TraceJSON bytes — the
+// form the ring retains. Called once per request from finish; spans of a
+// still-running hedge arm may be open here and render with zero duration.
+// The JSON is appended by hand (no maps, no reflection): this runs on
+// every request, and encoding/json over map-shaped attrs costs ~10 µs and
+// dozens of allocations where direct appends cost one buffer.
+func renderTrace(tr *Trace) []byte {
+	tr.mu.Lock()
+	defer tr.mu.Unlock()
+	b := make([]byte, 0, 384+128*len(tr.spans))
+	b = append(b, `{"trace":"`...)
+	b = appendHex(b, tr.id[:])
+	b = append(b, `","name":`...)
+	b = appendJSONString(b, tr.name)
+	b = append(b, `,"start":"`...)
+	b = tr.start.AppendFormat(b, time.RFC3339Nano)
+	b = append(b, `","duration_ms":`...)
+	b = appendMSFloat(b, tr.dur)
+	b = append(b, `,"status":`...)
+	b = strconv.AppendInt(b, int64(tr.status), 10)
+	b = appendAttrs(b, tr.attrs)
+	b = append(b, `,"spans":[`...)
+	for i := range tr.spans {
+		sp := &tr.spans[i]
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = append(b, `{"name":`...)
+		b = appendJSONString(b, sp.name)
+		b = append(b, `,"span":"`...)
+		b = appendHex(b, sp.id[:])
+		b = append(b, '"')
+		if !sp.parent.IsZero() {
+			b = append(b, `,"parent":"`...)
+			b = appendHex(b, sp.parent[:])
+			b = append(b, '"')
+		}
+		b = append(b, `,"start_ms":`...)
+		b = appendMSFloat(b, sp.start)
+		b = append(b, `,"duration_ms":`...)
+		b = appendMSFloat(b, sp.dur)
+		b = appendAttrs(b, sp.attrs)
+		b = append(b, '}')
+	}
+	return append(b, `]}`...)
+}
+
+// appendHex appends the lowercase hex of id.
+func appendHex(b, id []byte) []byte {
+	var d [32]byte
+	n := hex.Encode(d[:], id)
+	return append(b, d[:n]...)
+}
+
+// appendMSFloat appends a duration as fractional milliseconds.
+func appendMSFloat(b []byte, d time.Duration) []byte {
+	return strconv.AppendFloat(b, float64(d)/float64(time.Millisecond), 'g', -1, 64)
+}
+
+// appendAttrs appends `,"attrs":{...}`, or nothing when empty — matching
+// the omitempty of TraceJSON.Attrs so Snapshot round-trips.
+func appendAttrs(b []byte, attrs []Attr) []byte {
+	if len(attrs) == 0 {
+		return b
+	}
+	b = append(b, `,"attrs":{`...)
+	for i, a := range attrs {
+		if i > 0 {
+			b = append(b, ',')
+		}
+		b = appendJSONString(b, a.Key)
+		b = append(b, ':')
+		b = appendAttrValue(b, a.Value)
+	}
+	return append(b, '}')
+}
+
+// appendAttrValue renders the handful of value types the handlers record;
+// anything else goes through encoding/json.
+func appendAttrValue(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case string:
+		return appendJSONString(b, x)
+	case bool:
+		if x {
+			return append(b, "true"...)
+		}
+		return append(b, "false"...)
+	case int:
+		return strconv.AppendInt(b, int64(x), 10)
+	case int64:
+		return strconv.AppendInt(b, x, 10)
+	case uint64:
+		return strconv.AppendUint(b, x, 10)
+	case float64:
+		return strconv.AppendFloat(b, x, 'g', -1, 64)
+	default:
+		data, err := json.Marshal(v)
+		if err != nil {
+			return append(b, `"unrenderable"`...)
+		}
+		return append(b, data...)
+	}
+}
+
+// appendJSONString appends s as a JSON string. Attr keys and values are
+// printable ASCII in practice, which appends directly; anything needing
+// escapes takes the encoding/json slow path.
+func appendJSONString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if c := s[i]; c < 0x20 || c == '"' || c == '\\' || c >= 0x80 {
+			data, _ := json.Marshal(s)
+			return append(b, data...)
+		}
+	}
+	b = append(b, '"')
+	b = append(b, s...)
+	return append(b, '"')
+}
+
+// Snapshot returns the retained completed traces, newest first, skipping
+// those faster than minDur. Safe against concurrent Finish calls.
+func (r *Recorder) Snapshot(minDur time.Duration) []TraceJSON {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	rendered := make([][]byte, 0, len(r.ring))
+	for i := 1; i <= len(r.ring); i++ {
+		// Walk backwards from the most recent write.
+		a := r.ring[(r.next-i+len(r.ring))%len(r.ring)]
+		if a.data != nil && a.dur >= minDur {
+			rendered = append(rendered, a.data)
+		}
+	}
+	r.mu.Unlock()
+
+	out := make([]TraceJSON, 0, len(rendered))
+	for _, data := range rendered {
+		var tj TraceJSON
+		if json.Unmarshal(data, &tj) == nil {
+			out = append(out, tj)
+		}
+	}
+	return out
+}
+
+// Context plumbing. The server carries the *Trace; clients carry a
+// pre-rendered traceparent value for outgoing headers.
+
+type traceKey struct{}
+type tpKey struct{}
+
+// ContextWithTrace attaches tr to ctx.
+func ContextWithTrace(ctx context.Context, tr *Trace) context.Context {
+	if tr == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, tr)
+}
+
+// TraceFromContext returns the request's trace, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	tr, _ := ctx.Value(traceKey{}).(*Trace)
+	return tr
+}
+
+// ContextWithTraceparent attaches an outgoing traceparent header value.
+func ContextWithTraceparent(ctx context.Context, tp string) context.Context {
+	return context.WithValue(ctx, tpKey{}, tp)
+}
+
+// TraceparentFromContext returns the outgoing traceparent value, or "".
+func TraceparentFromContext(ctx context.Context) string {
+	tp, _ := ctx.Value(tpKey{}).(string)
+	return tp
+}
+
+// EnsureTraceparent returns ctx carrying a traceparent, generating a fresh
+// one when absent — the client's per-logical-call entry point, so retries
+// and hedge arms of one call share a trace id.
+func EnsureTraceparent(ctx context.Context) (context.Context, string) {
+	if tp := TraceparentFromContext(ctx); tp != "" {
+		return ctx, tp
+	}
+	tp := NewTraceparent()
+	return ContextWithTraceparent(ctx, tp), tp
+}

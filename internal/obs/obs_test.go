@@ -1,0 +1,376 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"expvar"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	tid, sid := NewTraceID(), NewSpanID()
+	tp := FormatTraceparent(tid, sid)
+	if len(tp) != 55 {
+		t.Fatalf("traceparent %q: len %d, want 55", tp, len(tp))
+	}
+	gotT, gotS, ok := ParseTraceparent(tp)
+	if !ok || gotT != tid || gotS != sid {
+		t.Fatalf("round trip %q: got %v %v ok=%v", tp, gotT, gotS, ok)
+	}
+}
+
+func TestParseTraceparentRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"banana",
+		"00-abc-def-01",
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",   // reserved version
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01",   // zero trace id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01",   // zero parent
+		"00-4bf92f3577b34da6a3ce929d0e0e47zz-00f067aa0ba902b7-01",   // bad hex
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7",      // missing flags
+		"0-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",    // short version
+		"00-4bf92f3577b34da6a3ce929d0e0e4736aa-00f067aa0ba902b7-01", // long trace id
+	}
+	for _, s := range bad {
+		if _, _, ok := ParseTraceparent(s); ok {
+			t.Errorf("ParseTraceparent(%q) accepted, want reject", s)
+		}
+	}
+	// Future versions with extra segments parse (per spec).
+	if _, _, ok := ParseTraceparent("01-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); !ok {
+		t.Error("future-version traceparent rejected, want accept")
+	}
+}
+
+func TestNilTraceIsNoOp(t *testing.T) {
+	var tr *Trace
+	if got := tr.TraceID(); got != "" {
+		t.Errorf("nil TraceID = %q", got)
+	}
+	if got := tr.Traceparent(); got != "" {
+		t.Errorf("nil Traceparent = %q", got)
+	}
+	tr.Set("k", "v")
+	sp := tr.StartSpan("x")
+	sp.Set("k", 1)
+	sp.End()
+	if got := sp.SpanID(); got != "" {
+		t.Errorf("nil SpanID = %q", got)
+	}
+	tr.Finish(200)
+
+	var r *Recorder
+	if tr := r.StartTrace("GET /x", ""); tr != nil {
+		t.Error("nil recorder produced a trace")
+	}
+	if got := r.Snapshot(0); got != nil {
+		t.Errorf("nil Snapshot = %v", got)
+	}
+	if tot, slow := r.Totals(); tot != 0 || slow != 0 {
+		t.Errorf("nil Totals = %d, %d", tot, slow)
+	}
+	if r.Logger() == nil {
+		t.Error("nil recorder Logger() = nil, want discard logger")
+	}
+}
+
+func TestTraceJoinsRemoteParent(t *testing.T) {
+	r := NewRecorder(Options{})
+	remote := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	tr := r.StartTrace("POST /v1/solve", remote)
+	if got := tr.TraceID(); got != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace id = %s, want remote id", got)
+	}
+	// The outgoing traceparent keeps the trace id but advances the parent
+	// to this request's root span.
+	tp := tr.Traceparent()
+	gotT, gotS, ok := ParseTraceparent(tp)
+	if !ok || gotT.String() != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("outgoing traceparent %q", tp)
+	}
+	if gotS.String() == "00f067aa0ba902b7" {
+		t.Fatal("outgoing parent span not advanced past the remote parent")
+	}
+	tr.Finish(200)
+	snap := r.Snapshot(0)
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	if snap[0].Spans[0].Parent != "00f067aa0ba902b7" {
+		t.Fatalf("root parent = %q, want remote span id", snap[0].Spans[0].Parent)
+	}
+}
+
+func TestTraceSpansAndSnapshot(t *testing.T) {
+	r := NewRecorder(Options{RingSize: 4})
+	tr := r.StartTrace("POST /v1/solve", "")
+	tr.Set("tenant", "acme")
+	sp := tr.StartSpan("engine_run")
+	sp.Set("candidates", 42)
+	time.Sleep(time.Millisecond)
+	sp.End()
+	tr.Finish(200)
+
+	snap := r.Snapshot(0)
+	if len(snap) != 1 {
+		t.Fatalf("snapshot len = %d, want 1", len(snap))
+	}
+	tj := snap[0]
+	if tj.Trace != tr.TraceID() || tj.Status != 200 || tj.Name != "POST /v1/solve" {
+		t.Fatalf("trace json = %+v", tj)
+	}
+	if tj.Attrs["tenant"] != "acme" {
+		t.Fatalf("attrs = %v", tj.Attrs)
+	}
+	if len(tj.Spans) != 2 {
+		t.Fatalf("spans = %d, want root + engine_run", len(tj.Spans))
+	}
+	eng := tj.Spans[1]
+	if eng.Name != "engine_run" || eng.DurationMS <= 0 || eng.Parent != tj.Spans[0].Span {
+		t.Fatalf("engine span = %+v (root %+v)", eng, tj.Spans[0])
+	}
+	// Snapshot round-trips through the rendered JSON, so numeric attrs
+	// come back as float64.
+	if eng.Attrs["candidates"] != float64(42) {
+		t.Fatalf("span attrs = %v", eng.Attrs)
+	}
+	// The snapshot must be JSON-marshalable as served by /debug/traces.
+	if _, err := json.Marshal(snap); err != nil {
+		t.Fatalf("marshal snapshot: %v", err)
+	}
+	// Min-duration filter excludes the fast trace.
+	if got := r.Snapshot(time.Hour); len(got) != 0 {
+		t.Fatalf("minDur filter kept %d traces", len(got))
+	}
+}
+
+func TestRecorderRingBounded(t *testing.T) {
+	r := NewRecorder(Options{RingSize: 3})
+	for i := 0; i < 10; i++ {
+		tr := r.StartTrace("GET /x", "")
+		tr.Set("i", i)
+		tr.Finish(200)
+	}
+	snap := r.Snapshot(0)
+	if len(snap) != 3 {
+		t.Fatalf("ring kept %d traces, want 3", len(snap))
+	}
+	// Newest first: 9, 8, 7 (numbers round-trip through JSON as float64).
+	for i, want := range []float64{9, 8, 7} {
+		if snap[i].Attrs["i"] != want {
+			t.Fatalf("snapshot[%d] i = %v, want %g", i, snap[i].Attrs["i"], want)
+		}
+	}
+	if tot, _ := r.Totals(); tot != 10 {
+		t.Fatalf("total = %d, want 10", tot)
+	}
+}
+
+func TestSummaryLogLine(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&buf, nil))
+	r := NewRecorder(Options{Logger: log, SlowThreshold: time.Hour})
+	tr := r.StartTrace("POST /v1/solve", "")
+	tr.Set("tenant", "acme")
+	tr.Set("cached", true)
+	sp := tr.StartSpan("cache_lookup")
+	sp.End()
+	tr.Finish(200)
+
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line %q: %v", buf.String(), err)
+	}
+	if line["msg"] != "request" || line["level"] != "INFO" {
+		t.Fatalf("line = %v", line)
+	}
+	if line["trace"] != tr.TraceID() || line["req"] != "POST /v1/solve" ||
+		line["status"] != float64(200) || line["tenant"] != "acme" || line["cached"] != true {
+		t.Fatalf("line = %v", line)
+	}
+	if s, _ := line["stages"].(string); !strings.Contains(s, "cache_lookup:") {
+		t.Fatalf("stages = %v", line["stages"])
+	}
+}
+
+func TestSlowRequestWarns(t *testing.T) {
+	var buf bytes.Buffer
+	log := slog.New(slog.NewJSONHandler(&buf, nil))
+	r := NewRecorder(Options{Logger: log, SlowThreshold: time.Nanosecond})
+	tr := r.StartTrace("POST /v1/solve", "")
+	time.Sleep(10 * time.Microsecond)
+	tr.Finish(200)
+	var line map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &line); err != nil {
+		t.Fatalf("log line %q: %v", buf.String(), err)
+	}
+	if line["msg"] != "slow request" || line["level"] != "WARN" {
+		t.Fatalf("line = %v", line)
+	}
+	if _, slow := r.Totals(); slow != 1 {
+		t.Fatalf("slow total = %d", slow)
+	}
+
+	// Negative threshold disables slow classification entirely.
+	r2 := NewRecorder(Options{SlowThreshold: -1})
+	tr2 := r2.StartTrace("GET /x", "")
+	tr2.Finish(200)
+	if _, slow := r2.Totals(); slow != 0 {
+		t.Fatalf("disabled slow log still counted %d", slow)
+	}
+}
+
+func TestFinishIdempotent(t *testing.T) {
+	r := NewRecorder(Options{})
+	tr := r.StartTrace("GET /x", "")
+	tr.Finish(200)
+	tr.Finish(500)
+	if tot, _ := r.Totals(); tot != 1 {
+		t.Fatalf("double finish recorded %d traces", tot)
+	}
+	if snap := r.Snapshot(0); snap[0].Status != 200 {
+		t.Fatalf("second finish overwrote status: %d", snap[0].Status)
+	}
+}
+
+// TestTraceConcurrent exercises parallel span recording on one trace (the
+// hedge-arm shape) plus concurrent Snapshot calls; run with -race.
+func TestTraceConcurrent(t *testing.T) {
+	r := NewRecorder(Options{RingSize: 8})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			tr := r.StartTrace("POST /v1/solve", "")
+			var inner sync.WaitGroup
+			for a := 0; a < 3; a++ {
+				inner.Add(1)
+				go func(a int) {
+					defer inner.Done()
+					sp := tr.StartSpan("hedge_attempt")
+					sp.Set("arm", a)
+					sp.End()
+				}(a)
+			}
+			inner.Wait()
+			tr.Finish(200)
+		}()
+	}
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			r.Snapshot(0)
+		}()
+	}
+	wg.Wait()
+	snap := r.Snapshot(0)
+	if len(snap) != 4 {
+		t.Fatalf("snapshot len = %d", len(snap))
+	}
+	for _, tj := range snap {
+		if len(tj.Spans) != 4 {
+			t.Fatalf("trace %s has %d spans, want root + 3 arms", tj.Trace, len(tj.Spans))
+		}
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if TraceFromContext(ctx) != nil {
+		t.Fatal("empty ctx carries a trace")
+	}
+	r := NewRecorder(Options{})
+	tr := r.StartTrace("GET /x", "")
+	ctx = ContextWithTrace(ctx, tr)
+	if TraceFromContext(ctx) != tr {
+		t.Fatal("trace not carried")
+	}
+
+	ctx2, tp := EnsureTraceparent(context.Background())
+	if _, _, ok := ParseTraceparent(tp); !ok {
+		t.Fatalf("generated traceparent %q invalid", tp)
+	}
+	// Second call reuses the existing value — retries and hedge arms of
+	// one logical call share a trace id.
+	ctx3, tp2 := EnsureTraceparent(ctx2)
+	if tp2 != tp {
+		t.Fatalf("EnsureTraceparent regenerated: %q then %q", tp, tp2)
+	}
+	if TraceparentFromContext(ctx3) != tp {
+		t.Fatal("traceparent not carried")
+	}
+}
+
+func TestWritePromBasics(t *testing.T) {
+	m := new(expvar.Map).Init()
+	reqs := new(expvar.Int)
+	reqs.Set(7)
+	m.Set("solve_requests", reqs)
+	inFlight := new(expvar.Int)
+	inFlight.Set(2)
+	m.Set("in_flight_runs", inFlight)
+	m.Set("go_version", expvar.Func(func() any { return "go1.24" }))
+	m.Set("solve_ewma_ms", expvar.Func(func() any { return 1.5 }))
+	m.Set("tenant_shed_by_tenant", expvar.Func(func() any {
+		return map[string]int64{"acme": 3, "beta": 1}
+	}))
+
+	var buf bytes.Buffer
+	WriteProm(&buf, m)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE solve_requests counter\nsolve_requests 7\n",
+		"# TYPE in_flight_runs gauge\nin_flight_runs 2\n",
+		"go_version{version=\"go1.24\"} 1\n",
+		"# TYPE solve_ewma_ms gauge\nsolve_ewma_ms 1.5\n",
+		"tenant_shed_by_tenant{tenant=\"acme\"} 3\n",
+		"tenant_shed_by_tenant{tenant=\"beta\"} 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWritePromHistogramCumulative(t *testing.T) {
+	// A latencyHist-shaped map: disjoint bins le_1=2, le_5=3, le_inf=4.
+	m := new(expvar.Map).Init()
+	h := new(expvar.Map).Init()
+	set := func(k string, v int64) {
+		iv := new(expvar.Int)
+		iv.Set(v)
+		h.Set(k, iv)
+	}
+	set("le_1", 2)
+	set("le_5", 3)
+	set("le_inf", 4)
+	set("count", 9)
+	sum := new(expvar.Float)
+	sum.Set(123.5)
+	h.Set("sum_ms", sum)
+	m.Set("solve_latency_ms", h)
+
+	var buf bytes.Buffer
+	WriteProm(&buf, m)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE solve_latency_ms histogram\n",
+		"solve_latency_ms_bucket{le=\"1\"} 2\n",
+		"solve_latency_ms_bucket{le=\"5\"} 5\n",    // cumulative: 2+3
+		"solve_latency_ms_bucket{le=\"+Inf\"} 9\n", // overflow folded in; equals _count
+		"solve_latency_ms_sum 123.5\n",
+		"solve_latency_ms_count 9\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}

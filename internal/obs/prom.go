@@ -1,0 +1,185 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type of the Prometheus text exposition
+// format rendered by WriteProm.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// promGauges names the expvar entries that are point-in-time levels
+// rather than monotone totals, so WriteProm can emit the right # TYPE.
+// Anything not listed (and not a histogram map) is a counter.
+var promGauges = map[string]bool{
+	"in_flight_runs":  true,
+	"queue_depth":     true,
+	"max_concurrent":  true,
+	"max_queue":       true,
+	"cache_len":       true,
+	"sessions_active": true,
+	"draining":        true,
+	"uptime_seconds":  true,
+	"solve_ewma_ms":   true,
+	"fleet_peers":     true,
+	"fleet_replicas":  true,
+	"peer_alive":      true,
+	"peer_suspect":    true,
+	"peer_dead":       true,
+}
+
+// WriteProm renders an expvar metrics map in the Prometheus text
+// exposition format (version 0.0.4). The mapping is mechanical so metric
+// names stay identical to the JSON exposition:
+//
+//   - expvar.Int / expvar.Float / numeric expvar.Func → one sample, typed
+//     counter unless the name is a known gauge;
+//   - a nested expvar.Map holding "le_*" bins plus "count" and "sum_ms"
+//     (the latencyHist shape) → a histogram with *cumulative* _bucket
+//     series, the "le_inf" overflow bin folded into le="+Inf" so
+//     bucket{+Inf} == _count as Prometheus requires;
+//   - a map[string]int64-valued expvar.Func → one labeled series per key
+//     (tenant_shed_by_tenant{tenant="..."});
+//   - a string-valued expvar.Func (go_version) → an info-style gauge
+//     carrying the string as a label with value 1.
+//
+// Unknown shapes are skipped rather than guessed at, so adding an expvar
+// entry can never corrupt the scrape.
+func WriteProm(w io.Writer, m *expvar.Map) {
+	m.Do(func(kv expvar.KeyValue) {
+		name := promName(kv.Key)
+		switch v := kv.Value.(type) {
+		case *expvar.Int:
+			writeSample(w, name, promType(kv.Key), float64(v.Value()))
+		case *expvar.Float:
+			writeSample(w, name, promType(kv.Key), v.Value())
+		case *expvar.Map:
+			writeHistogram(w, name, v)
+		case expvar.Func:
+			writeFuncSample(w, name, kv.Key, v.Value())
+		}
+	})
+}
+
+// promName sanitizes an expvar key into a Prometheus metric name. The
+// server's keys are already [a-z_]+, so this is a defensive identity map.
+func promName(k string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '_', r == ':':
+			return r
+		}
+		return '_'
+	}, k)
+}
+
+func promType(key string) string {
+	if promGauges[key] {
+		return "gauge"
+	}
+	return "counter"
+}
+
+func writeSample(w io.Writer, name, typ string, val float64) {
+	fmt.Fprintf(w, "# TYPE %s %s\n%s %s\n", name, typ, name, formatFloat(val))
+}
+
+// writeFuncSample renders an expvar.Func value: numbers become plain
+// samples, string-to-number maps become labeled series, and strings
+// become info gauges.
+func writeFuncSample(w io.Writer, name, key string, val any) {
+	switch v := val.(type) {
+	case int:
+		writeSample(w, name, promType(key), float64(v))
+	case int64:
+		writeSample(w, name, promType(key), float64(v))
+	case uint64:
+		writeSample(w, name, promType(key), float64(v))
+	case float64:
+		writeSample(w, name, promType(key), v)
+	case string:
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s{version=%s} 1\n", name, name, strconv.Quote(v))
+	case map[string]int64:
+		keys := make([]string, 0, len(v))
+		for k := range v {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		for _, k := range keys {
+			fmt.Fprintf(w, "%s{tenant=%s} %s\n", name, strconv.Quote(k), formatFloat(float64(v[k])))
+		}
+	}
+}
+
+// writeHistogram renders a latencyHist-shaped expvar.Map ("le_<bound>"
+// disjoint bins + "count" + "sum_ms") as a Prometheus histogram. The
+// stored bins are disjoint; Prometheus buckets are cumulative, so each
+// bucket sums every bin at or below its bound, and the "le_inf" overflow
+// bin is folded into le="+Inf" — the invariant bucket{+Inf} == _count
+// holds by construction.
+func writeHistogram(w io.Writer, name string, m *expvar.Map) {
+	type bin struct {
+		bound float64
+		count int64
+	}
+	var (
+		bins     []bin
+		overflow int64
+		count    int64
+		sum      float64
+		isHist   bool
+	)
+	m.Do(func(kv expvar.KeyValue) {
+		switch {
+		case kv.Key == "le_inf":
+			if v, ok := kv.Value.(*expvar.Int); ok {
+				overflow = v.Value()
+				isHist = true
+			}
+		case strings.HasPrefix(kv.Key, "le_"):
+			b, err := strconv.ParseFloat(kv.Key[3:], 64)
+			v, ok := kv.Value.(*expvar.Int)
+			if err == nil && ok {
+				bins = append(bins, bin{b, v.Value()})
+				isHist = true
+			}
+		case kv.Key == "count":
+			if v, ok := kv.Value.(*expvar.Int); ok {
+				count = v.Value()
+			}
+		case kv.Key == "sum_ms":
+			if v, ok := kv.Value.(*expvar.Float); ok {
+				sum = v.Value()
+			}
+		}
+	})
+	if !isHist {
+		return
+	}
+	sort.Slice(bins, func(i, j int) bool { return bins[i].bound < bins[j].bound })
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum int64
+	for _, b := range bins {
+		cum += b.count
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, formatFloat(b.bound), cum)
+	}
+	cum += overflow
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, cum)
+	fmt.Fprintf(w, "%s_sum %s\n", name, formatFloat(sum))
+	fmt.Fprintf(w, "%s_count %d\n", name, count)
+}
+
+// formatFloat renders a value the way Prometheus expects: integers
+// without an exponent or trailing zeros, everything else shortest-form.
+func formatFloat(f float64) string {
+	if f == float64(int64(f)) {
+		return strconv.FormatInt(int64(f), 10)
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}

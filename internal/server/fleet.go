@@ -12,9 +12,11 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"bufferkit/internal/fleet"
+	"bufferkit/internal/obs"
 	"bufferkit/internal/resilience"
 	"bufferkit/internal/server/cache"
 )
@@ -120,11 +122,17 @@ func (s *Server) handleSolveForward(w http.ResponseWriter, r *http.Request, req 
 		s.fleetFallbacks.Add(1)
 		return false
 	}
+	tr := obs.TraceFromContext(r.Context())
+	tr.Set("forwarded", true)
+	fwd := tr.StartSpan("peer_forward")
+	defer fwd.End()
 	timeout := s.timeout(req.solveOptions)
 	resp, err, shared := s.forwardFlights.Do(r.Context(), key, func(ctx context.Context) (*solveResponse, error) {
 		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
-		return s.forwardSolve(ctx, req, key, h, targets)
+		// The creator's trace rides along so the hedge arms span under it
+		// and the outgoing calls carry its traceparent.
+		return s.forwardSolve(obs.ContextWithTrace(ctx, tr), req, key, h, targets)
 	})
 	if err != nil {
 		var pe *resilience.PanicError
@@ -161,15 +169,25 @@ func (s *Server) handleSolveForward(w http.ResponseWriter, r *http.Request, req 
 // replica served.
 func (s *Server) forwardSolve(ctx context.Context, req *solveRequest, key cache.Key, h uint64, targets []string) (*solveResponse, error) {
 	fcfg := s.fleet.Config()
+	tr := obs.TraceFromContext(ctx)
+	var arms atomic.Int32
 	out, winner, hedged, err := fleet.Hedged(ctx, targets, fcfg.HedgeAfter,
 		s.fleet.AllowHedge,
 		func(i int) {
 			if i > 0 {
 				s.fleetHedges.Add(1)
+				tr.Set("hedged", true)
 			}
 		},
 		func(ctx context.Context, peer string) (forwardOutcome, error) {
-			return s.callPeerSolve(ctx, peer, req)
+			name := "peer_call"
+			if arms.Add(1) > 1 {
+				name = "hedge_attempt"
+			}
+			sp := tr.StartSpan(name)
+			sp.Set("peer", peer)
+			defer sp.End()
+			return s.callPeerSolve(ctx, peer, req, tr.Traceparent())
 		})
 	if err != nil {
 		return nil, err
@@ -193,7 +211,7 @@ func (s *Server) forwardSolve(ctx context.Context, req *solveRequest, key cache.
 	// cache converges without waiting for the next write.
 	owners := s.fleet.Owners(h)
 	if winner != owners[0] && s.fleet.Detector().State(owners[0]) != fleet.Dead {
-		s.sendReplica(owners[0], key, &norm, s.fleetReadRepairs)
+		s.sendReplica(owners[0], key, &norm, s.fleetReadRepairs, tr.Traceparent())
 	}
 	return out.resp, nil
 }
@@ -202,7 +220,7 @@ func (s *Server) forwardSolve(ctx context.Context, req *solveRequest, key cache.
 // sub-deadline: most of the remaining budget, capped at ForwardTimeout,
 // and carried in the payload's timeout_ms so the peer's admission
 // controller sees the same number the wire enforces.
-func (s *Server) callPeerSolve(ctx context.Context, peer string, req *solveRequest) (forwardOutcome, error) {
+func (s *Server) callPeerSolve(ctx context.Context, peer string, req *solveRequest, traceparent string) (forwardOutcome, error) {
 	sub := s.fleet.Config().ForwardTimeout
 	if dl, ok := ctx.Deadline(); ok {
 		// Keep 1/8 of the remaining budget in reserve so a peer that burns
@@ -230,6 +248,9 @@ func (s *Server) callPeerSolve(ctx context.Context, peer string, req *solveReque
 	hreq.Header.Set("Content-Type", "application/json")
 	hreq.Header.Set(hopsHeader, "1")
 	hreq.Header.Set(originHeader, s.fleet.Self())
+	if traceparent != "" {
+		hreq.Header.Set(traceparentHeader, traceparent)
+	}
 	hresp, err := s.fleetHTTP.Do(hreq)
 	if err != nil {
 		s.fleet.Detector().ReportFailure(peer)
@@ -275,6 +296,9 @@ func (s *Server) writeRelayed(w http.ResponseWriter, relay *relayedError) {
 	s.httpErrors.Add(1)
 	body := relay.body
 	body.Peer = relay.peer
+	// The relaying node's own trace id, not the peer's: the client talked
+	// to this node, and this trace contains the forward + relay spans.
+	body.Trace = requestTrace(w).TraceID()
 	if relay.retryAfter != "" {
 		w.Header().Set("Retry-After", relay.retryAfter)
 	}
@@ -296,7 +320,7 @@ func annotatePeerErr(err error) error {
 // No-op when this node is not an owner: a local-fallback solve on a
 // partitioned non-owner has no replica responsibility — and no reachable
 // peers anyway.
-func (s *Server) replicate(key cache.Key, resp *solveResponse) {
+func (s *Server) replicate(key cache.Key, resp *solveResponse, traceparent string) {
 	if s.fleet == nil {
 		return
 	}
@@ -315,7 +339,7 @@ func (s *Server) replicate(key cache.Key, resp *solveResponse) {
 	}
 	for _, o := range owners {
 		if o != self && s.fleet.Detector().State(o) != fleet.Dead {
-			s.sendReplica(o, key, resp, s.fleetWriteThroughs)
+			s.sendReplica(o, key, resp, s.fleetWriteThroughs, traceparent)
 		}
 	}
 }
@@ -331,8 +355,10 @@ type cacheReplica struct {
 
 // sendReplica pushes one cached result to peer in the background,
 // incrementing okCounter on success (write-through or read-repair). The
-// goroutine is fleet-tracked, so Server.Close waits it out.
-func (s *Server) sendReplica(peer string, key cache.Key, resp *solveResponse, okCounter *expvar.Int) {
+// goroutine is fleet-tracked, so Server.Close waits it out. The
+// originating request's traceparent rides along so the receiver's
+// replica_write span joins the same trace.
+func (s *Server) sendReplica(peer string, key cache.Key, resp *solveResponse, okCounter *expvar.Int, traceparent string) {
 	payload := &cacheReplica{
 		NetSHA:   hex.EncodeToString(key.Net[:]),
 		LibSHA:   hex.EncodeToString(key.Library[:]),
@@ -354,6 +380,9 @@ func (s *Server) sendReplica(peer string, key cache.Key, resp *solveResponse, ok
 		}
 		req.Header.Set("Content-Type", "application/json")
 		req.Header.Set(originHeader, s.fleet.Self())
+		if traceparent != "" {
+			req.Header.Set(traceparentHeader, traceparent)
+		}
 		hresp, err := s.fleetHTTP.Do(req)
 		if err != nil {
 			s.fleet.Detector().ReportFailure(peer)
@@ -396,7 +425,12 @@ func (s *Server) handleCacheReplica(w http.ResponseWriter, r *http.Request) {
 	key.Options = req.Options
 	resp := *req.Response
 	resp.Cached, resp.Coalesced = false, false
+	tr := obs.TraceFromContext(r.Context())
+	tr.Set("digest", digestAttr(key.Net))
+	sp := tr.StartSpan("replica_write")
 	stored := s.cache.PutIfAbsent(key, &resp)
+	sp.Set("stored", stored)
+	sp.End()
 	if stored {
 		s.fleetReplicasStored.Add(1)
 	}
@@ -451,12 +485,18 @@ func (s *Server) tenantLimit(next http.Handler) http.Handler {
 			next.ServeHTTP(w, r)
 			return
 		}
+		tr := obs.TraceFromContext(r.Context())
 		tenant := r.Header.Get(tenantHeader)
-		if ok, retry := s.quotas.Allow(tenant); !ok {
+		sp := tr.StartSpan("tenant_quota")
+		ok, retry := s.quotas.Allow(tenant)
+		sp.Set("allowed", ok)
+		sp.End()
+		if !ok {
 			s.httpErrors.Add(1)
 			w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(retry)))
 			writeJSON(w, http.StatusTooManyRequests, &errorResponse{
 				Error: fmt.Sprintf("tenant %q over quota (retry after %s)", tenant, retry.Round(time.Millisecond)),
+				Trace: tr.TraceID(),
 			})
 			return
 		}

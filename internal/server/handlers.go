@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"bufferkit"
+	"bufferkit/internal/obs"
 	"bufferkit/internal/orderbuf"
 	"bufferkit/internal/resilience"
 	"bufferkit/internal/server/cache"
@@ -69,6 +70,10 @@ type errorResponse struct {
 	// was relayed from a forwarded request — a peer's 504 is
 	// distinguishable from the receiving node's own deadline.
 	Peer string `json:"peer,omitempty"`
+	// Trace is the request's trace id — the same value as the
+	// X-Bufferkit-Trace response header — so a failed request is
+	// correlatable with /debug/traces and the server logs.
+	Trace string `json:"trace,omitempty"`
 }
 
 // handleSolve solves one net: cache lookup on the raw payload digests,
@@ -78,15 +83,22 @@ type errorResponse struct {
 // no engine run of their own.
 func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	s.solveReqs.Add(1)
+	tr := obs.TraceFromContext(r.Context())
 	var req solveRequest
 	if err := s.decodeBody(w, r, &req); err != nil {
 		s.writeError(w, err)
 		return
 	}
 	key := cache.NewKey([]byte(req.Net), []byte(req.Library), req.solveOptions.cacheOptions())
-	if v, ok := s.cache.Get(key); ok {
+	tr.Set("digest", digestAttr(key.Net))
+	lookup := tr.StartSpan("cache_lookup")
+	v, ok := s.cache.Get(key)
+	lookup.Set("hit", ok)
+	lookup.End()
+	if ok {
 		resp := *v.(*solveResponse) // copy: cached entries are immutable
 		resp.Cached = true
+		tr.Set("cached", true)
 		writeJSON(w, http.StatusOK, &resp)
 		return
 	}
@@ -106,13 +118,18 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	// The flight runs detached from any one caller (a disconnect must not
 	// kill the run other waiters share) under its own solve budget;
 	// admission happens inside, so N coalesced requests consume one engine
-	// slot, not N.
+	// slot, not N. The trace is captured lexically: the winner (the caller
+	// that created the flight) records the admission and engine spans;
+	// followers see only their own wait.
 	resp, err, shared := s.flights.Do(r.Context(), key, func(ctx context.Context) (*solveResponse, error) {
 		ctx, cancel := context.WithTimeout(ctx, timeout)
 		defer cancel()
+		admit := tr.StartSpan("admission")
 		if err := s.adm.Acquire(ctx); err != nil {
+			admit.End()
 			return nil, err
 		}
+		admit.End()
 		defer s.adm.Release(1)
 		solver, err := req.newSolver(lib, bufferkit.WithDriver(net.Driver))
 		if err != nil {
@@ -121,6 +138,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		defer solver.Close()
 		s.inFlightRuns.Add(1)
 		s.engineRuns.Add(1)
+		run := tr.StartSpan("engine_run")
 		start := time.Now()
 		res, err := solver.Run(ctx, net.Tree)
 		elapsed := time.Since(start)
@@ -128,12 +146,15 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.adm.Observe(elapsed)
 		s.solveLatency.observe(elapsed)
 		if err != nil {
+			run.End()
 			return nil, err
 		}
 		resp := buildResponse(net, lib, solver.Algorithm(), res, elapsed)
+		s.recordEngineStats(resp.Stats, run)
+		run.End()
 		s.cache.Put(key, resp)
 		s.cacheStores.Add(1)
-		s.replicate(key, resp) // fleet write-through to the other owners
+		s.replicate(key, resp, tr.Traceparent()) // fleet write-through to the other owners
 		return resp, nil
 	})
 	if err != nil {
@@ -144,14 +165,17 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 		s.writeError(w, s.asCanceled(err))
 		return
 	}
+	enc := tr.StartSpan("encode")
 	if shared {
 		s.sfShared.Add(1)
+		tr.Set("coalesced", true)
 		out := *resp // copy: the shared result is immutable
 		out.Coalesced = true
 		writeJSON(w, http.StatusOK, &out)
-		return
+	} else {
+		writeJSON(w, http.StatusOK, resp)
 	}
-	writeJSON(w, http.StatusOK, resp)
+	enc.End()
 }
 
 // batchRequest is the POST /v1/batch payload.
@@ -326,6 +350,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 				continue
 			}
 			resp := buildResponse(jobs[i].net, lib, solver.Algorithm(), &res, 0)
+			s.recordEngineStats(resp.Stats, obs.SpanRef{})
 			s.cache.Put(jobs[i].key, resp)
 			s.cacheStores.Add(1)
 			if !deliver(&batchLine{Index: i, Result: resp}) {
@@ -367,8 +392,17 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 }
 
-// handleMetrics renders the server's expvar map as JSON.
-func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+// handleMetrics renders the server's expvar map: JSON by default, the
+// Prometheus text exposition format when the client asks for text/plain
+// (or ?format=prom). Metric names are identical in both — the Prometheus
+// mapping is mechanical (see obs.WriteProm).
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" ||
+		strings.Contains(r.Header.Get("Accept"), "text/plain") {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		obs.WriteProm(w, s.metrics)
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
 	fmt.Fprintln(w, s.metrics.String())
 }
@@ -460,7 +494,7 @@ func errorMessage(err error) string {
 // else → 500.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	s.httpErrors.Add(1)
-	resp := errorResponse{Error: err.Error()}
+	resp := errorResponse{Error: err.Error(), Trace: requestTrace(w).TraceID()}
 	status := http.StatusInternalServerError
 	var herr *httpError
 	var verr *bufferkit.ValidationError

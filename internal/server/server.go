@@ -49,10 +49,9 @@ package server
 import (
 	"expvar"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"runtime"
-	"runtime/debug"
 	"slices"
 	"strings"
 	"sync"
@@ -61,6 +60,7 @@ import (
 
 	"bufferkit"
 	"bufferkit/internal/fleet"
+	"bufferkit/internal/obs"
 	"bufferkit/internal/resilience"
 	"bufferkit/internal/server/cache"
 )
@@ -119,6 +119,17 @@ type Config struct {
 	// an entry fall back to the "*" entry, or are unlimited without one.
 	// Empty = no tenant quotas.
 	TenantQuotas map[string]resilience.QuotaSpec
+	// Logger receives the structured request-summary lines, slow-request
+	// warnings and operational events (nil = logging discarded; tests stay
+	// quiet by default and bufferkitd always supplies one).
+	Logger *slog.Logger
+	// SlowThreshold marks requests at least this slow as "slow request"
+	// log warnings (0 = 1 s, negative = slow logging disabled).
+	SlowThreshold time.Duration
+	// TraceRing bounds the completed request traces retained for
+	// GET /debug/traces (0 = 256, negative = tracing and request-summary
+	// logging disabled entirely — the bench-baseline configuration).
+	TraceRing int
 }
 
 func (c *Config) fill() {
@@ -221,6 +232,11 @@ type Server struct {
 	cache *cache.Cache
 	start time.Time
 
+	// rec is the observability recorder behind the instrument middleware:
+	// request traces, the /debug/traces ring, and the request-summary log
+	// stream. Nil when Config.TraceRing < 0 — every trace call no-ops.
+	rec *obs.Recorder
+
 	// draining flips GET /readyz to 503 so load balancers stop routing new
 	// traffic while in-flight work completes.
 	draining atomic.Bool
@@ -255,6 +271,11 @@ type Server struct {
 	panicsTotal  *expvar.Int
 	sfShared     *expvar.Int
 	solveLatency *latencyHist
+
+	// Engine profiling counters: the DP's own work, aggregated across
+	// every engine run (solve, batch, yield, chip, session paths).
+	engCandidates *expvar.Int
+	engPruned     *expvar.Int
 
 	// Yield-sweep counters. The two abort counters are the endpoint's
 	// partial-progress story: a sweep killed by the request deadline still
@@ -337,6 +358,9 @@ func New(cfg Config) *Server {
 		sfShared:     new(expvar.Int),
 		solveLatency: newLatencyHist(),
 
+		engCandidates: new(expvar.Int),
+		engPruned:     new(expvar.Int),
+
 		yieldReqs:           new(expvar.Int),
 		yieldSamples:        new(expvar.Int),
 		yieldDeadlineAborts: new(expvar.Int),
@@ -372,6 +396,13 @@ func New(cfg Config) *Server {
 		peerProbes:            new(expvar.Int),
 		peerProbeFailures:     new(expvar.Int),
 	}
+	if cfg.TraceRing >= 0 {
+		s.rec = obs.NewRecorder(obs.Options{
+			Logger:        cfg.Logger,
+			SlowThreshold: cfg.SlowThreshold,
+			RingSize:      cfg.TraceRing,
+		})
+	}
 	if cfg.Fleet.Enabled() {
 		f, err := fleet.New(cfg.Fleet)
 		if err != nil {
@@ -396,6 +427,16 @@ func New(cfg Config) *Server {
 	s.metrics.Set("panics_total", s.panicsTotal)
 	s.metrics.Set("singleflight_shared", s.sfShared)
 	s.metrics.Set("solve_latency_ms", s.solveLatency.m)
+	s.metrics.Set("engine_candidates_total", s.engCandidates)
+	s.metrics.Set("engine_pruned_total", s.engPruned)
+	s.metrics.Set("traces_total", expvar.Func(func() any {
+		total, _ := s.rec.Totals()
+		return total
+	}))
+	s.metrics.Set("slow_requests_total", expvar.Func(func() any {
+		_, slow := s.rec.Totals()
+		return slow
+	}))
 	s.metrics.Set("yield_requests", s.yieldReqs)
 	s.metrics.Set("yield_samples", s.yieldSamples)
 	s.metrics.Set("yield_deadline_aborts", s.yieldDeadlineAborts)
@@ -502,7 +543,8 @@ func (s *Server) Close() {
 }
 
 // Handler returns the HTTP handler serving every endpoint, wrapped in the
-// panic-recovery middleware.
+// instrumentation middleware (request tracing, the X-Bufferkit-Trace
+// header, panic recovery, the per-request summary log line).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/solve", s.handleSolve)
@@ -517,7 +559,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s.recoverPanics(s.tenantLimit(mux))
+	mux.HandleFunc("GET /debug/traces", s.handleDebugTraces)
+	return s.instrument(s.tenantLimit(mux))
 }
 
 // SetDraining flips drain mode: while draining, GET /readyz answers 503 so
@@ -529,16 +572,24 @@ func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
 // Draining reports whether the server is in drain mode.
 func (s *Server) Draining() bool { return s.draining.Load() }
 
-// trackingWriter records whether a response header was written, so the
-// recovery middleware knows if a 500 can still be delivered. It passes
-// Flush through for the NDJSON streaming handlers.
+// trackingWriter records whether a response header was written (so the
+// instrument middleware knows if a panic 500 can still be delivered) and
+// which status was sent (for the trace and summary line). It carries the
+// request's trace so deep error writers can stamp the trace id into error
+// payloads via the traceCarrier assertion, and passes Flush through for
+// the NDJSON streaming handlers.
 type trackingWriter struct {
 	http.ResponseWriter
 	wroteHeader bool
+	code        int
+	trace       *obs.Trace
 }
 
 func (w *trackingWriter) WriteHeader(code int) {
-	w.wroteHeader = true
+	if !w.wroteHeader {
+		w.wroteHeader = true
+		w.code = code
+	}
 	w.ResponseWriter.WriteHeader(code)
 }
 
@@ -553,37 +604,16 @@ func (w *trackingWriter) Flush() {
 	}
 }
 
-// recoverPanics converts a handler or engine panic into a 500 with a
-// logged stack and a panics_total increment, so one poisoned request
-// cannot silently kill the connection. Panics that crossed a singleflight
-// boundary arrive as *resilience.PanicError re-panics and keep the stack
-// captured at the original panic site. http.ErrAbortHandler passes
-// through: it is net/http's own control flow for dead connections.
-func (s *Server) recoverPanics(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		tw := &trackingWriter{ResponseWriter: w}
-		defer func() {
-			rec := recover()
-			if rec == nil {
-				return
-			}
-			if rec == http.ErrAbortHandler {
-				panic(rec)
-			}
-			s.panicsTotal.Add(1)
-			val, stack := rec, debug.Stack()
-			if pe, ok := rec.(*resilience.PanicError); ok {
-				val, stack = pe.Value, pe.Stack
-			}
-			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, val, stack)
-			if !tw.wroteHeader {
-				s.httpErrors.Add(1)
-				writeJSON(tw, http.StatusInternalServerError,
-					&errorResponse{Error: fmt.Sprintf("internal error: %v", val)})
-			}
-		}()
-		next.ServeHTTP(tw, r)
-	})
+// Trace implements traceCarrier.
+func (w *trackingWriter) Trace() *obs.Trace { return w.trace }
+
+// status is the effective response status: the explicit WriteHeader code,
+// or 200 when the handler wrote the body (or nothing) directly.
+func (w *trackingWriter) status() int {
+	if w.code != 0 {
+		return w.code
+	}
+	return http.StatusOK
 }
 
 // solveOptions are the request fields that select and configure an

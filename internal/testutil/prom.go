@@ -1,0 +1,101 @@
+package testutil
+
+import (
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// PromMetrics is a parsed Prometheus text-format (version 0.0.4) scrape.
+// Samples are keyed exactly as exposed — "name" or `name{label="v"}` —
+// and Types maps each metric family name to its # TYPE declaration.
+type PromMetrics struct {
+	Samples map[string]float64
+	Types   map[string]string
+}
+
+var (
+	promNameRe  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	promTypes   = map[string]bool{"counter": true, "gauge": true, "histogram": true, "summary": true, "untyped": true}
+	promLabelRe = regexp.MustCompile(`^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$`)
+)
+
+// ParseProm parses a Prometheus text exposition strictly enough to catch
+// the ways a hand-rolled writer goes wrong: every line must be a # HELP /
+// # TYPE comment or a `name[{labels}] value` sample, names must be legal,
+// TYPE values must be real types, and sample values must parse as floats.
+// It is a validator for bufferkitd's /metrics output, not a general
+// scraper — timestamps and exemplars are rejected, not skipped.
+func ParseProm(text string) (*PromMetrics, error) {
+	pm := &PromMetrics{Samples: map[string]float64{}, Types: map[string]string{}}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			f := strings.Fields(line)
+			if len(f) < 3 || (f[1] != "HELP" && f[1] != "TYPE") {
+				return nil, fmt.Errorf("line %d: malformed comment %q", ln+1, line)
+			}
+			if !promNameRe.MatchString(f[2]) {
+				return nil, fmt.Errorf("line %d: bad metric name %q", ln+1, f[2])
+			}
+			if f[1] == "TYPE" {
+				if len(f) != 4 || !promTypes[f[3]] {
+					return nil, fmt.Errorf("line %d: bad TYPE %q", ln+1, line)
+				}
+				pm.Types[f[2]] = f[3]
+			}
+			continue
+		}
+		// Sample: name or name{k="v",...}, one space, float value.
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			return nil, fmt.Errorf("line %d: no value in sample %q", ln+1, line)
+		}
+		key, val := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad value %q: %v", ln+1, val, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				return nil, fmt.Errorf("line %d: unterminated labels %q", ln+1, key)
+			}
+			name = key[:i]
+			if err := checkLabels(key[i+1 : len(key)-1]); err != nil {
+				return nil, fmt.Errorf("line %d: %v in %q", ln+1, err, key)
+			}
+		}
+		if !promNameRe.MatchString(name) {
+			return nil, fmt.Errorf("line %d: bad metric name %q", ln+1, name)
+		}
+		if _, dup := pm.Samples[key]; dup {
+			return nil, fmt.Errorf("line %d: duplicate sample %q", ln+1, key)
+		}
+		pm.Samples[key] = v
+	}
+	return pm, nil
+}
+
+// checkLabels validates a comma-separated label list (quotes may contain
+// escaped characters but never a raw comma in this repo's writer).
+func checkLabels(s string) error {
+	if s == "" {
+		return nil
+	}
+	for _, pair := range strings.Split(s, ",") {
+		if !promLabelRe.MatchString(pair) {
+			return fmt.Errorf("bad label %q", pair)
+		}
+	}
+	return nil
+}
+
+// Bucket returns the cumulative histogram bucket sample name for bound le.
+func Bucket(name, le string) string {
+	return fmt.Sprintf(`%s_bucket{le="%s"}`, name, le)
+}

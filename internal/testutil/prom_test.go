@@ -1,0 +1,53 @@
+package testutil
+
+import "testing"
+
+// TestParseProm: a well-formed exposition parses into samples and types,
+// including labeled histogram buckets.
+func TestParseProm(t *testing.T) {
+	pm, err := ParseProm(`# HELP solve_requests Solve requests accepted.
+# TYPE solve_requests counter
+solve_requests 42
+# TYPE solve_latency_ms histogram
+solve_latency_ms_bucket{le="1"} 3
+solve_latency_ms_bucket{le="+Inf"} 7
+solve_latency_ms_sum 123.5
+solve_latency_ms_count 7
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pm.Samples["solve_requests"] != 42 {
+		t.Errorf("solve_requests = %v", pm.Samples["solve_requests"])
+	}
+	if pm.Types["solve_latency_ms"] != "histogram" {
+		t.Errorf("type = %q", pm.Types["solve_latency_ms"])
+	}
+	if pm.Samples[Bucket("solve_latency_ms", "+Inf")] != 7 {
+		t.Errorf("+Inf bucket = %v", pm.Samples[Bucket("solve_latency_ms", "+Inf")])
+	}
+	if pm.Samples[Bucket("solve_latency_ms", "1")] != 3 {
+		t.Errorf("le=1 bucket = %v", pm.Samples[Bucket("solve_latency_ms", "1")])
+	}
+}
+
+// TestParsePromRejects: every way the hand-rolled writer could go wrong
+// is an error, not a skip — the validator's whole point.
+func TestParsePromRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad name":          "1up 3\n",
+		"no value":          "solve_requests\n",
+		"bad value":         "solve_requests fast\n",
+		"bad TYPE":          "# TYPE solve_requests speedometer\n",
+		"malformed comment": "# NOTE solve_requests whatever\n",
+		"bad label":         `m{le=1} 3` + "\n",
+		"unterminated":      `m{le="1" 3` + "\n",
+		"duplicate sample":  "m 1\nm 2\n",
+		"timestamp":         "m 1 1700000000\n",
+	}
+	for name, text := range cases {
+		if _, err := ParseProm(text); err == nil {
+			t.Errorf("%s: %q accepted", name, text)
+		}
+	}
+}
